@@ -1,0 +1,253 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per artifact, quick-sized) plus substrate micro-benches.
+// Run with:
+//
+//	go test -bench=. -benchmem
+package atlahs
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"atlahs/internal/astra"
+	"atlahs/internal/backend"
+	"atlahs/internal/engine"
+	"atlahs/internal/experiments"
+	"atlahs/internal/goal"
+	"atlahs/internal/sched"
+	"atlahs/internal/trace/chakra"
+	"atlahs/internal/trace/ncclgoal"
+	"atlahs/internal/trace/schedgen"
+	"atlahs/internal/workload/hpcapps"
+	"atlahs/internal/workload/llm"
+	"atlahs/internal/workload/micro"
+)
+
+func astraSimulate(tr *chakra.Trace) (*astra.Result, error) {
+	return astra.Simulate(tr, astra.Config{})
+}
+
+// --- one benchmark per paper table/figure -----------------------------------
+
+func BenchmarkFig1C(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1C(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablations: the design choices DESIGN.md calls out -----------------------
+
+// BenchmarkAblationEagerVsRendezvous measures the LGS rendezvous handshake
+// cost at the protocol switch point.
+func BenchmarkAblationEagerVsRendezvous(b *testing.B) {
+	mk := func(size int64) *goal.Schedule {
+		bl := goal.NewBuilder(2)
+		for i := 0; i < 100; i++ {
+			bl.Rank(0).Send(size, 1, int32(i))
+			bl.Rank(1).Recv(size, 0, int32(i))
+		}
+		return bl.MustBuild()
+	}
+	for _, c := range []struct {
+		name string
+		size int64
+	}{{"eager-255KB", 255 * 1000}, {"rendezvous-256KB", 256 * 1000}} {
+		b.Run(c.name, func(b *testing.B) {
+			s := mk(c.size)
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.Run(engine.New(), s, backend.NewLGS(backend.HPCParams()), sched.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNCCLChannels measures pipeline + simulation cost across
+// NCCL channel counts.
+func BenchmarkAblationNCCLChannels(b *testing.B) {
+	rep, err := llm.Generate(llm.Config{
+		Model: llm.Llama7B(),
+		Par:   llm.Parallelism{TP: 1, PP: 1, DP: 8, EP: 1, GlobalBatch: 16},
+		Scale: 1e-4, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ch := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "1ch", 2: "2ch", 4: "4ch"}[ch], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := ncclgoal.Generate(rep, ncclgoal.Config{GPUsPerNode: 4, Channels: ch})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sched.Run(engine.New(), s, backend.NewLGS(backend.AIParams()), sched.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGoalEncodings compares binary and text GOAL encodings.
+func BenchmarkAblationGoalEncodings(b *testing.B) {
+	tr, err := hpcapps.Generate(hpcapps.Config{App: hpcapps.LULESH, Ranks: 27, Steps: 3, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := schedgen.Generate(tr, schedgen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := goal.WriteBinary(io.Discard, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("text", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := goal.WriteText(io.Discard, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- substrate throughput -----------------------------------------------------
+
+// BenchmarkLGSimulationThroughput measures scheduler+LGS ops/second on an
+// incast-heavy schedule.
+func BenchmarkLGSimulationThroughput(b *testing.B) {
+	s := micro.AllToAll(16, 4096)
+	ops := int64(s.ComputeStats().Ops)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sched.Run(engine.New(), s, backend.NewLGS(backend.AIParams()), sched.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Ops != ops {
+			b.Fatal("incomplete run")
+		}
+	}
+	b.ReportMetric(float64(ops), "goalops/op")
+}
+
+// BenchmarkSimRuntimeLGSvsAstra is the paper's §5.2 wall-clock comparison
+// in benchmark form: simulating the same DP workload via GOAL+LGS versus
+// the Chakra+astra baseline.
+func BenchmarkSimRuntimeLGSvsAstra(b *testing.B) {
+	cfg := llm.Config{
+		Model: llm.Llama7B(),
+		Par:   llm.Parallelism{TP: 1, PP: 1, DP: 16, EP: 1, GlobalBatch: 32},
+		Scale: 1e-3, Seed: 1,
+	}
+	// both sides time the full workflow: load serialised trace + simulate
+	b.Run("atlahs-lgs", func(b *testing.B) {
+		rep, err := llm.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := ncclgoal.Generate(rep, ncclgoal.Config{GPUsPerNode: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var bin bytes.Buffer
+		if err := goal.WriteBinary(&bin, s); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			loaded, err := goal.ReadBinary(bytes.NewReader(bin.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sched.Run(engine.New(), loaded, backend.NewLGS(backend.AIParams()), sched.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("astra-baseline", func(b *testing.B) {
+		tr, err := llm.GenerateChakra(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var bin bytes.Buffer
+		if _, err := tr.WriteTo(&bin); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			loaded, err := chakra.Parse(bytes.NewReader(bin.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := astraSimulate(loaded); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,137 @@
+// Command atlahs runs a GOAL schedule on a chosen network backend — the
+// toolchain's simulation entry point.
+//
+// Usage:
+//
+//	atlahs -goal sched.bin [-backend lgs|pkt|fluid] [-params ai|hpc]
+//	       [-hosts-per-tor 4] [-oversub 1] [-cc mprdma] [-seed 1]
+//
+// The GOAL file may be textual or binary (auto-detected). The lgs backend
+// is topology-oblivious; pkt and fluid build a two-level fat tree sized to
+// the schedule.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"atlahs/internal/backend"
+	"atlahs/internal/engine"
+	"atlahs/internal/fluid"
+	"atlahs/internal/goal"
+	"atlahs/internal/pktnet"
+	"atlahs/internal/sched"
+	"atlahs/internal/topo"
+)
+
+func main() {
+	goalPath := flag.String("goal", "", "GOAL schedule file (text or binary)")
+	be := flag.String("backend", "lgs", "backend: lgs, pkt or fluid")
+	params := flag.String("params", "ai", "LogGOPS parameter set: ai or hpc")
+	hostsPerToR := flag.Int("hosts-per-tor", 4, "fat-tree hosts per ToR (pkt/fluid)")
+	oversub := flag.Int("oversub", 1, "fat-tree ToR:core oversubscription (pkt/fluid)")
+	ccName := flag.String("cc", "mprdma", "congestion control (pkt): mprdma, swift, dctcp, ndp")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	calcScale := flag.Float64("calc-scale", 1.0, "hardware adaptation factor for calc times")
+	flag.Parse()
+	if *goalPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s, err := loadGoal(*goalPath)
+	if err != nil {
+		fail(err)
+	}
+	st := s.ComputeStats()
+	fmt.Printf("schedule: %d ranks, %d ops (%d sends, %d recvs, %d calcs), %.2f MiB on the wire\n",
+		st.Ranks, st.Ops, st.Sends, st.Recvs, st.Calcs, float64(st.SendBytes)/(1<<20))
+
+	var bk interface {
+		Name() string
+	}
+	var runErr error
+	var runtime string
+	switch *be {
+	case "lgs":
+		p := backend.AIParams()
+		if *params == "hpc" {
+			p = backend.HPCParams()
+		}
+		b := backend.NewLGS(p)
+		bk = b
+		res, err := sched.Run(engine.New(), s, b, sched.Options{CalcScale: *calcScale})
+		runErr = err
+		if err == nil {
+			runtime = res.Runtime.String()
+		}
+	case "pkt":
+		tp, err := mkTopo(s.NumRanks(), *hostsPerToR, *oversub)
+		if err != nil {
+			fail(err)
+		}
+		b := backend.NewPkt(backend.PktConfig{
+			Net:    pktnet.Config{Topo: tp, CC: *ccName, Seed: *seed},
+			Params: backend.DefaultNetParams(),
+		})
+		bk = b
+		res, err := sched.Run(engine.New(), s, b, sched.Options{CalcScale: *calcScale})
+		runErr = err
+		if err == nil {
+			runtime = res.Runtime.String()
+			ns := b.NetStats()
+			fmt.Printf("packet stats: %d data pkts, %d drops, %d trims, %d retransmits\n",
+				ns.PktsSent, ns.Drops, ns.Trims, ns.Retransmits)
+		}
+	case "fluid":
+		tp, err := mkTopo(s.NumRanks(), *hostsPerToR, *oversub)
+		if err != nil {
+			fail(err)
+		}
+		b := backend.NewFluid(backend.FluidConfig{
+			Net:    fluid.Config{Topo: tp, Seed: *seed},
+			Params: backend.DefaultNetParams(),
+		})
+		bk = b
+		res, err := sched.Run(engine.New(), s, b, sched.Options{CalcScale: *calcScale})
+		runErr = err
+		if err == nil {
+			runtime = res.Runtime.String()
+		}
+	default:
+		fail(fmt.Errorf("unknown backend %q", *be))
+	}
+	if runErr != nil {
+		fail(runErr)
+	}
+	fmt.Printf("backend %s: simulated runtime %s\n", bk.Name(), runtime)
+}
+
+func mkTopo(ranks, hostsPerToR, oversub int) (*topo.Topology, error) {
+	cores := hostsPerToR / oversub
+	if cores < 1 {
+		cores = 1
+	}
+	return backend.FatTreeFor(ranks, hostsPerToR, cores, topo.DefaultLinkSpec())
+}
+
+func loadGoal(path string) (*goal.Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic, err := br.Peek(6)
+	if err == nil && string(magic) == "GOALB1" {
+		return goal.ReadBinary(br)
+	}
+	return goal.ParseText(br)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "atlahs:", err)
+	os.Exit(1)
+}

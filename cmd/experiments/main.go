@@ -1,0 +1,58 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-mode quick|full] [fig1c table1 fig8 fig9 fig10 fig11 fig12 fig13 | all]
+//
+// Each experiment prints the corresponding rows/series; EXPERIMENTS.md
+// records the paper-vs-reproduction comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"atlahs/internal/experiments"
+)
+
+func main() {
+	mode := flag.String("mode", "full", "experiment sizing: quick or full")
+	flag.Parse()
+	m := experiments.Full
+	switch *mode {
+	case "full":
+	case "quick":
+		m = experiments.Quick
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q (want quick or full)\n", *mode)
+		os.Exit(2)
+	}
+	names := flag.Args()
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		names = []string{"fig1c", "table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+	}
+	type runner func(io.Writer, experiments.Mode) error
+	run := map[string]runner{
+		"fig1c":  func(w io.Writer, m experiments.Mode) error { _, err := experiments.Fig1C(w, m); return err },
+		"table1": func(w io.Writer, m experiments.Mode) error { _, err := experiments.Table1(w, m); return err },
+		"fig8":   func(w io.Writer, m experiments.Mode) error { _, err := experiments.Fig8(w, m); return err },
+		"fig9":   func(w io.Writer, m experiments.Mode) error { _, err := experiments.Fig9(w, m); return err },
+		"fig10":  func(w io.Writer, m experiments.Mode) error { _, err := experiments.Fig10(w, m); return err },
+		"fig11":  func(w io.Writer, m experiments.Mode) error { _, err := experiments.Fig11(w, m); return err },
+		"fig12":  func(w io.Writer, m experiments.Mode) error { _, err := experiments.Fig12(w, m); return err },
+		"fig13":  func(w io.Writer, m experiments.Mode) error { _, err := experiments.Fig13(w, m); return err },
+	}
+	for _, name := range names {
+		fn, ok := run[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if err := fn(os.Stdout, m); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

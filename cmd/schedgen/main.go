@@ -1,0 +1,100 @@
+// Command schedgen converts application traces into GOAL schedules — the
+// trace-to-GOAL stage of the toolchain (paper Fig 2, green path).
+//
+// Usage:
+//
+//	schedgen -format mpi|nsys|spc -in trace -out sched.bin [-text]
+//	         [-gpus-per-node 4] [-channels 1] [-hosts 4]
+//
+// Formats: "mpi" (liballprof-style MPI trace via Schedgen), "nsys"
+// (nsys-like GPU report via the 4-stage NCCL pipeline), "spc" (SPC block
+// I/O trace via the Direct Drive model).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atlahs/internal/goal"
+	"atlahs/internal/storage/directdrive"
+	"atlahs/internal/trace/mpitrace"
+	"atlahs/internal/trace/ncclgoal"
+	"atlahs/internal/trace/nsys"
+	"atlahs/internal/trace/schedgen"
+	"atlahs/internal/trace/spc"
+)
+
+func main() {
+	format := flag.String("format", "", "input trace format: mpi, nsys or spc")
+	in := flag.String("in", "", "input trace file")
+	out := flag.String("out", "", "output GOAL file")
+	text := flag.Bool("text", false, "write textual GOAL instead of binary")
+	gpusPerNode := flag.Int("gpus-per-node", 4, "nsys: GPUs grouped per node")
+	channels := flag.Int("channels", 1, "nsys: NCCL channels")
+	hosts := flag.Int("hosts", 4, "spc: Direct Drive client hosts")
+	flag.Parse()
+	if *format == "" || *in == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+
+	var s *goal.Schedule
+	switch *format {
+	case "mpi":
+		tr, err := mpitrace.Parse(f)
+		if err != nil {
+			fail(err)
+		}
+		if s, err = schedgen.Generate(tr, schedgen.Options{}); err != nil {
+			fail(err)
+		}
+	case "nsys":
+		rep, err := nsys.Parse(f)
+		if err != nil {
+			fail(err)
+		}
+		if s, err = ncclgoal.Generate(rep, ncclgoal.Config{GPUsPerNode: *gpusPerNode, Channels: *channels}); err != nil {
+			fail(err)
+		}
+	case "spc":
+		tr, err := spc.Parse(f)
+		if err != nil {
+			fail(err)
+		}
+		var layout *directdrive.Layout
+		if s, layout, err = directdrive.Generate(tr, directdrive.Config{Hosts: *hosts}); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "schedgen: storage layout %v\n", layout)
+	default:
+		fail(fmt.Errorf("unknown format %q", *format))
+	}
+
+	o, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer o.Close()
+	if *text {
+		err = goal.WriteText(o, s)
+	} else {
+		err = goal.WriteBinary(o, s)
+	}
+	if err != nil {
+		fail(err)
+	}
+	st := s.ComputeStats()
+	fmt.Fprintf(os.Stderr, "schedgen: wrote %d ranks, %d ops to %s\n", st.Ranks, st.Ops, *out)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "schedgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+// Command tracegen generates synthetic application traces — stand-ins for
+// the instrumented runs of real systems (see DESIGN.md's substitution
+// table).
+//
+// Usage:
+//
+//	tracegen -kind llm -model llama7b -tp 1 -pp 1 -dp 8 -batch 16 -out trace.nsys
+//	tracegen -kind hpc -app lulesh -ranks 64 -steps 10 -out trace.mpi
+//	tracegen -kind storage -ops 5000 -out trace.spc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atlahs/internal/trace/spc"
+	"atlahs/internal/workload/hpcapps"
+	"atlahs/internal/workload/llm"
+)
+
+func main() {
+	kind := flag.String("kind", "", "workload kind: llm, hpc or storage")
+	out := flag.String("out", "", "output file")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	// llm flags
+	model := flag.String("model", "llama7b", "llm model: llama7b, llama70b, mistral8x7b, moe8x13b, moe8x70b, dlrm")
+	tp := flag.Int("tp", 1, "tensor parallelism")
+	pp := flag.Int("pp", 1, "pipeline parallelism")
+	dp := flag.Int("dp", 8, "data parallelism")
+	ep := flag.Int("ep", 1, "expert parallelism")
+	batch := flag.Int("batch", 16, "global batch size")
+	scale := flag.Float64("scale", 1e-3, "byte/compute scale factor")
+	// hpc flags
+	app := flag.String("app", "lulesh", "hpc app: hpcg, lulesh, lammps, icon, openmx, cloverleaf")
+	ranks := flag.Int("ranks", 64, "MPI ranks")
+	steps := flag.Int("steps", 10, "timesteps")
+	// storage flags
+	ops := flag.Int("ops", 5000, "storage operations")
+	flag.Parse()
+	if *kind == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+
+	switch *kind {
+	case "llm":
+		models := map[string]llm.Model{
+			"llama7b": llm.Llama7B(), "llama70b": llm.Llama70B(),
+			"mistral8x7b": llm.Mistral8x7B(), "moe8x13b": llm.MoE8x13B(),
+			"moe8x70b": llm.MoE8x70B(), "dlrm": llm.DLRMModel(),
+		}
+		m, ok := models[*model]
+		if !ok {
+			fail(fmt.Errorf("unknown model %q", *model))
+		}
+		rep, err := llm.Generate(llm.Config{
+			Model: m,
+			Par:   llm.Parallelism{TP: *tp, PP: *pp, DP: *dp, EP: *ep, GlobalBatch: *batch},
+			Scale: *scale,
+			Seed:  *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		if _, err := rep.WriteTo(f); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: %d GPUs, %d records -> %s\n", rep.NGPUs, len(rep.Records), *out)
+	case "hpc":
+		tr, err := hpcapps.Generate(hpcapps.Config{
+			App: hpcapps.App(*app), Ranks: *ranks, Steps: *steps, Seed: *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		if _, err := tr.WriteTo(f); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: %d ranks -> %s\n", tr.NumRanks(), *out)
+	case "storage":
+		tr := spc.GenerateFinancial(spc.FinancialConfig{Ops: *ops, Seed: *seed})
+		if _, err := tr.WriteTo(f); err != nil {
+			fail(err)
+		}
+		st := tr.ComputeStats()
+		fmt.Fprintf(os.Stderr, "tracegen: %d ops (%.0f%% writes) -> %s\n", st.Ops, 100*st.WriteRatio, *out)
+	default:
+		fail(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,15 @@
+// Package atlahs is a from-scratch Go reproduction of ATLAHS, the
+// application-centric network simulator toolchain for AI, HPC and
+// distributed storage (Shen, Bonato et al., SC 2025).
+//
+// The toolchain lives under internal/: the GOAL intermediate format and
+// scheduler, three network backends (LogGOPS message-level, packet-level,
+// fluid flow-level), tracers and GOAL generators for the three application
+// domains, workload generators, and the experiment harness that
+// regenerates every table and figure of the paper's evaluation. See
+// README.md for a map and DESIGN.md for the architecture and substitution
+// notes.
+package atlahs
+
+// Version identifies this reproduction.
+const Version = "1.0.0"

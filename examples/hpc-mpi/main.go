@@ -1,0 +1,69 @@
+// HPC validation flow (paper §5.3): trace an MPI application, convert the
+// trace with Schedgen under two collective-algorithm choices, and compare
+// the LGS prediction against the fluid-emulator "testbed".
+//
+//	go run ./examples/hpc-mpi
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atlahs/internal/backend"
+	"atlahs/internal/collective"
+	"atlahs/internal/engine"
+	"atlahs/internal/fluid"
+	"atlahs/internal/sched"
+	"atlahs/internal/simtime"
+	"atlahs/internal/topo"
+	"atlahs/internal/trace/schedgen"
+	"atlahs/internal/workload/hpcapps"
+)
+
+func main() {
+	tr, err := hpcapps.Generate(hpcapps.Config{App: hpcapps.HPCG, Ranks: 32, Steps: 4, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	events := 0
+	for _, evs := range tr.Events {
+		events += len(evs)
+	}
+	fmt.Printf("traced HPCG: 32 ranks, %d MPI events\n\n", events)
+
+	for _, algo := range []collective.Algo{collective.Auto, collective.Ring} {
+		sch, err := schedgen.Generate(tr, schedgen.Options{
+			Algos: map[collective.Kind]collective.Algo{collective.Allreduce: algo},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lgsRes, err := sched.Run(engine.New(), sch, backend.NewLGS(backend.HPCParams()), sched.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// the fluid emulator plays the role of the measured system
+		spec := topo.LinkSpec{Latency: 600 * simtime.Nanosecond, PsPerByte: 180, BufBytes: 1 << 20}
+		tp, err := backend.FatTreeFor(32, 16, 1, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fb := backend.NewFluid(backend.FluidConfig{
+			Net: fluid.Config{Topo: tp, Overhead: 1500 * simtime.Nanosecond, JitterFrac: 0.03, Seed: 6},
+			Params: backend.NetParams{
+				SendOverhead: 6 * simtime.Microsecond,
+				RecvOverhead: 6 * simtime.Microsecond,
+			},
+		})
+		fluidRes, err := sched.Run(engine.New(), sch, fb, sched.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		errPct := 100 * (float64(lgsRes.Runtime) - float64(fluidRes.Runtime)) / float64(fluidRes.Runtime)
+		fmt.Printf("allreduce algorithm %-12v measured %v, LGS %v (error %+.1f%%)\n",
+			algo, fluidRes.Runtime, lgsRes.Runtime, errPct)
+	}
+	fmt.Println("\ncollective substitution lets one trace be re-simulated under different")
+	fmt.Println("algorithm choices (paper §3.1.1).")
+}

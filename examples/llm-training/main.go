@@ -1,0 +1,69 @@
+// LLM training end to end: generate a distributed Llama training workload,
+// trace it into an nsys-like report, run the 4-stage GOAL pipeline, and
+// compare the message-level and packet-level backends — including a
+// "what-if" regrouping of the same GPU trace onto a different node count
+// (paper §3.1.2 stage 4).
+//
+//	go run ./examples/llm-training
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atlahs/internal/backend"
+	"atlahs/internal/engine"
+	"atlahs/internal/pktnet"
+	"atlahs/internal/sched"
+	"atlahs/internal/topo"
+	"atlahs/internal/trace/ncclgoal"
+	"atlahs/internal/workload/llm"
+)
+
+func main() {
+	cfg := llm.Config{
+		Model: llm.Llama7B(),
+		Par:   llm.Parallelism{TP: 1, PP: 2, DP: 8, EP: 1, GlobalBatch: 32},
+		Scale: 1e-4, // shrink bytes/compute so the packet simulation is instant
+		Seed:  7,
+	}
+	rep, err := llm.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := llm.Summarize(rep, cfg.Iterations)
+	fmt.Printf("traced %s on %d GPUs: %d records, %d communicators, %.1f MiB collectives, %.1f KiB P2P\n",
+		cfg.Model.Name, sum.GPUs, sum.Records, sum.Comms,
+		float64(sum.CollBytes)/(1<<20), float64(sum.P2PBytes)/1024)
+
+	for _, gpn := range []int{4, 2} {
+		sch, err := ncclgoal.Generate(rep, ncclgoal.Config{GPUsPerNode: gpn})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := sch.ComputeStats()
+		fmt.Printf("\n%d GPUs/node -> %d nodes: %d GOAL ops, %.2f MiB inter-node traffic\n",
+			gpn, sch.NumRanks(), st.Ops, float64(st.SendBytes)/(1<<20))
+
+		lgsRes, err := sched.Run(engine.New(), sch, backend.NewLGS(backend.AIParams()), sched.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  ATLAHS LGS:  %v\n", lgsRes.Runtime)
+
+		tp, err := backend.FatTreeFor(sch.NumRanks(), 4, 4, topo.DefaultLinkSpec())
+		if err != nil {
+			log.Fatal(err)
+		}
+		pb := backend.NewPkt(backend.PktConfig{
+			Net:    pktnet.Config{Topo: tp, CC: "mprdma", Seed: 7},
+			Params: backend.DefaultNetParams(),
+		})
+		pktRes, err := sched.Run(engine.New(), sch, pb, sched.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ns := pb.NetStats()
+		fmt.Printf("  ATLAHS pkt:  %v (%d packets, %d drops)\n", pktRes.Runtime, ns.PktsSent, ns.Drops)
+	}
+}

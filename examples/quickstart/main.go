@@ -1,0 +1,63 @@
+// Quickstart: build a GOAL schedule with the builder API, run it on the
+// LogGOPS message-level backend, and print the simulated runtime.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"atlahs/internal/backend"
+	"atlahs/internal/engine"
+	"atlahs/internal/goal"
+	"atlahs/internal/sched"
+)
+
+func main() {
+	// The schedule of paper Fig 3, extended into a 2-rank exchange:
+	// rank 0 computes on two parallel streams, then sends; rank 1 receives
+	// and answers.
+	b := goal.NewBuilder(2)
+
+	r0 := b.Rank(0)
+	l1 := r0.Calc(100)       // calc 100 (ns) on stream 0
+	l2 := r0.CalcOn(200, 0)  // calc 200 cpu 0
+	l3 := r0.CalcOn(200, 1)  // calc 200 cpu 1 — runs in parallel with l2
+	l4 := r0.Send(10, 1, 0)  // send 10b to 1
+	r0.Requires(l2, l1)      // l2 requires l1
+	r0.Requires(l3, l1)      // l3 requires l1
+	r0.Requires(l4, l2, l3)  // l4 requires l2 and l3
+	ack := r0.Recv(10, 1, 1) // wait for the reply
+	r0.Requires(ack, l4)
+
+	r1 := b.Rank(1)
+	req := r1.Recv(10, 0, 0)
+	work := r1.Calc(500)
+	r1.Requires(work, req)
+	rsp := r1.Send(10, 0, 1)
+	r1.Requires(rsp, work)
+
+	s := b.MustBuild()
+	if err := s.CheckMatched(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Print the schedule in the textual GOAL format.
+	fmt.Println("GOAL schedule:")
+	if err := goal.WriteText(os.Stdout, s); err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate on the LogGOPS backend with the paper's AI parameters
+	// (L=3.7us, o=200ns, G=0.04ns/B).
+	res, err := sched.Run(engine.New(), s, backend.NewLGS(backend.AIParams()), sched.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated runtime: %v (%d ops executed)\n", res.Runtime, res.Ops)
+	for r, end := range res.RankEnd {
+		fmt.Printf("  rank %d finished at %v\n", r, end)
+	}
+}

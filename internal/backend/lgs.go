@@ -1,0 +1,180 @@
+// Package backend provides the ATLAHS network-simulation backends: the
+// LogGOPSim-style message-level backend ("lgs"), the packet-level backend
+// ("pkt") wrapping internal/pktnet, and the fluid flow-level backend
+// ("fluid") wrapping internal/fluid. All three implement core.Backend and
+// are interchangeable from the scheduler's point of view — selecting the
+// backend trades simulation speed against fidelity, exactly the choice the
+// paper gives its users (message-level for speed, packet-level for
+// accuracy under congestion; §6.2).
+package backend
+
+import (
+	"fmt"
+
+	"atlahs/internal/core"
+	"atlahs/internal/engine"
+	"atlahs/internal/simtime"
+)
+
+// LogGOPS holds the parameters of the LogGOPS model (paper §5): L wire
+// latency, o CPU overhead per message, g inter-message NIC gap, G per-byte
+// gap (inverse bandwidth), O per-byte CPU overhead, S rendezvous
+// threshold. S = 0 disables rendezvous entirely (the paper's AI setup);
+// S > 0 sends messages of at least S bytes with an RTS/CTS handshake.
+type LogGOPS struct {
+	L  simtime.Duration // latency
+	O  simtime.Duration // per-message CPU overhead (paper's lowercase o)
+	G  simtime.Duration // inter-message gap (paper's lowercase g)
+	GB simtime.Duration // per-byte gap (paper's uppercase G), ps/byte
+	OB simtime.Duration // per-byte CPU overhead (paper's uppercase O), ps/byte
+	S  int64            // rendezvous threshold in bytes, 0 = all eager
+}
+
+// AIParams returns the LogGOPS parameters the paper measured for the Alps
+// GH200 cluster (§5.2): L=3700ns, o=200ns, g=5ns, G=0.04ns/B, O=0, S=0.
+func AIParams() LogGOPS {
+	return LogGOPS{
+		L:  3700 * simtime.Nanosecond,
+		O:  200 * simtime.Nanosecond,
+		G:  5 * simtime.Nanosecond,
+		GB: 40 * simtime.Picosecond, // 0.04 ns/B = 25 GB/s
+	}
+}
+
+// HPCParams returns the LogGOPS parameters measured with Netgauge on the
+// CSCS test-bed cluster (§5.3): L=3000ns, o=6000ns, g=0, G=0.18ns/B, O=0,
+// S=256000.
+func HPCParams() LogGOPS {
+	return LogGOPS{
+		L:  3000 * simtime.Nanosecond,
+		O:  6000 * simtime.Nanosecond,
+		GB: 180 * simtime.Picosecond, // 0.18 ns/B ~ 56 Gbit/s
+		S:  256000,
+	}
+}
+
+// lgsMsg is the matcher payload for an in-flight message.
+type lgsMsg struct {
+	rendezvous bool
+	arrival    simtime.Time   // eager: data arrival; rendezvous: RTS arrival
+	send       core.SendEvent // original send (rendezvous continuation)
+}
+
+// lgsRecv is the matcher payload for a posted receive.
+type lgsRecv struct {
+	ev   core.RecvEvent
+	post simtime.Time
+}
+
+// LGS is the LogGOPSim-style message-level backend. It models per-rank
+// compute streams (o and O overheads), a single NIC per rank (g and G
+// gaps), constant wire latency L, and eager/rendezvous protocols switched
+// at S bytes. It is topology-oblivious: contention inside the fabric is
+// invisible to it, which is exactly the limitation paper Fig 12
+// demonstrates on oversubscribed topologies.
+type LGS struct {
+	P LogGOPS
+
+	eng     *engine.Engine
+	over    core.CompletionFunc
+	streams *core.StreamTable
+	nicFree []simtime.Time
+	match   *core.Matcher[lgsMsg, lgsRecv]
+}
+
+// NewLGS creates an LGS backend with the given model parameters.
+func NewLGS(p LogGOPS) *LGS { return &LGS{P: p} }
+
+// Name implements core.Backend.
+func (b *LGS) Name() string { return "lgs" }
+
+// Setup implements core.Backend.
+func (b *LGS) Setup(nranks int, eng *engine.Engine, over core.CompletionFunc) error {
+	if nranks <= 0 {
+		return fmt.Errorf("lgs: non-positive rank count %d", nranks)
+	}
+	b.eng = eng
+	b.over = over
+	b.streams = core.NewStreamTable(nranks)
+	b.nicFree = make([]simtime.Time, nranks)
+	b.match = core.NewMatcher[lgsMsg, lgsRecv](nranks)
+	return nil
+}
+
+// Calc implements core.Backend: occupy the stream, complete at the end.
+func (b *LGS) Calc(ev core.CalcEvent) {
+	_, end := b.streams.Acquire(ev.Rank, ev.CPU, b.eng.Now(), ev.Duration)
+	h := ev.Handle
+	b.eng.Schedule(end, func() { b.over(h, end) })
+}
+
+// Send implements core.Backend.
+func (b *LGS) Send(ev core.SendEvent) {
+	now := b.eng.Now()
+	cpu := b.P.O + simtime.Duration(ev.Size)*b.P.OB
+	_, cpuEnd := b.streams.Acquire(ev.Src, ev.CPU, now, cpu)
+	if b.P.S > 0 && ev.Size >= b.P.S {
+		// Rendezvous: RTS after the CPU overhead; data moves once the
+		// receive is posted. The send op completes when the payload has
+		// been handed to the wire.
+		rtsArrival := cpuEnd.Add(b.P.L)
+		b.eng.Schedule(rtsArrival, func() {
+			if rv, ok := b.match.Arrive(ev.Dst, ev.Src, ev.Tag, lgsMsg{rendezvous: true, arrival: rtsArrival, send: ev}); ok {
+				b.rendezvousTransfer(ev, rv)
+			}
+		})
+		return
+	}
+	// Eager: op completes at CPU overhead end; payload is injected through
+	// the NIC (g + size*G) and arrives L after the last byte leaves.
+	inject := simtime.Max(cpuEnd, b.nicFree[ev.Src])
+	b.nicFree[ev.Src] = inject.Add(b.P.G + simtime.Duration(ev.Size)*b.P.GB)
+	arrival := inject.Add(simtime.Duration(ev.Size)*b.P.GB + b.P.L)
+	h := ev.Handle
+	b.eng.Schedule(cpuEnd, func() { b.over(h, cpuEnd) })
+	b.eng.Schedule(arrival, func() {
+		if rv, ok := b.match.Arrive(ev.Dst, ev.Src, ev.Tag, lgsMsg{arrival: arrival}); ok {
+			b.completeRecv(rv, arrival)
+		}
+	})
+}
+
+// Recv implements core.Backend.
+func (b *LGS) Recv(ev core.RecvEvent) {
+	now := b.eng.Now()
+	rv := lgsRecv{ev: ev, post: now}
+	if msg, ok := b.match.Post(ev.Dst, ev.Src, ev.Tag, rv); ok {
+		if msg.rendezvous {
+			b.rendezvousTransfer(msg.send, rv)
+		} else {
+			b.completeRecv(rv, msg.arrival)
+		}
+	}
+}
+
+// rendezvousTransfer runs the CTS + data phase after an RTS matched a
+// posted receive. Called at the match time (max of RTS arrival and post).
+func (b *LGS) rendezvousTransfer(send core.SendEvent, rv lgsRecv) {
+	now := b.eng.Now()
+	ctsAtSender := now.Add(b.P.L)
+	b.eng.Schedule(ctsAtSender, func() {
+		inject := simtime.Max(ctsAtSender, b.nicFree[send.Src])
+		b.nicFree[send.Src] = inject.Add(b.P.G + simtime.Duration(send.Size)*b.P.GB)
+		wireDone := inject.Add(simtime.Duration(send.Size) * b.P.GB)
+		arrival := wireDone.Add(b.P.L)
+		sh := send.Handle
+		b.eng.Schedule(wireDone, func() { b.over(sh, wireDone) })
+		b.eng.Schedule(arrival, func() { b.completeRecv(rv, arrival) })
+	})
+}
+
+// completeRecv charges the receive overhead on the receive's stream
+// starting at the data arrival (or post time, whichever is later — we are
+// called at that instant) and reports completion.
+func (b *LGS) completeRecv(rv lgsRecv, arrival simtime.Time) {
+	from := simtime.Max(arrival, b.eng.Now())
+	cpu := b.P.O + simtime.Duration(rv.ev.Size)*b.P.OB
+	_, end := b.streams.Acquire(rv.ev.Dst, rv.ev.CPU, from, cpu)
+	h := rv.ev.Handle
+	b.eng.Schedule(end, func() { b.over(h, end) })
+}

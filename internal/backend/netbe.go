@@ -1,0 +1,228 @@
+package backend
+
+import (
+	"fmt"
+
+	"atlahs/internal/core"
+	"atlahs/internal/engine"
+	"atlahs/internal/fluid"
+	"atlahs/internal/pktnet"
+	"atlahs/internal/simtime"
+	"atlahs/internal/stats"
+	"atlahs/internal/topo"
+)
+
+// MessageNet is the transport contract shared by the congestion-aware
+// networks (packet-level and fluid): inject a message, get a delivery-time
+// callback. Both internal/pktnet and internal/fluid satisfy it through
+// small adapters.
+type MessageNet interface {
+	// Send transfers size bytes from host src to host dst and calls
+	// onDelivered at the simulated arrival time of the last byte.
+	Send(src, dst int, size int64, onDelivered func(simtime.Time))
+}
+
+// NetParams are the host-side overheads applied by the generic
+// message-network backend: a fixed CPU overhead per send/recv mirroring
+// the LogGOPS o parameter so that message-level and packet-level backends
+// are calibrated identically (paper §5.2 configures htsim to "match these
+// parameters used by ATLAHS LGS").
+type NetParams struct {
+	SendOverhead simtime.Duration
+	RecvOverhead simtime.Duration
+}
+
+// netMsg / netRecv are matcher payloads.
+type netMsg struct{ arrival simtime.Time }
+type netRecv struct {
+	ev   core.RecvEvent
+	post simtime.Time
+}
+
+// NetBackend adapts any MessageNet into a core.Backend: compute streams
+// and message matching are handled here, transfers are delegated to the
+// network. All sends are eager (transfers start as soon as the send
+// overhead is paid).
+type NetBackend struct {
+	name   string
+	params NetParams
+	mkNet  func(eng *engine.Engine, nranks int) (MessageNet, error)
+
+	net     MessageNet
+	eng     *engine.Engine
+	over    core.CompletionFunc
+	streams *core.StreamTable
+	match   *core.Matcher[netMsg, netRecv]
+}
+
+// Name implements core.Backend.
+func (b *NetBackend) Name() string { return b.name }
+
+// Setup implements core.Backend.
+func (b *NetBackend) Setup(nranks int, eng *engine.Engine, over core.CompletionFunc) error {
+	net, err := b.mkNet(eng, nranks)
+	if err != nil {
+		return err
+	}
+	b.net = net
+	b.eng = eng
+	b.over = over
+	b.streams = core.NewStreamTable(nranks)
+	b.match = core.NewMatcher[netMsg, netRecv](nranks)
+	return nil
+}
+
+// Calc implements core.Backend.
+func (b *NetBackend) Calc(ev core.CalcEvent) {
+	_, end := b.streams.Acquire(ev.Rank, ev.CPU, b.eng.Now(), ev.Duration)
+	h := ev.Handle
+	b.eng.Schedule(end, func() { b.over(h, end) })
+}
+
+// Send implements core.Backend: pay the send overhead on the issuing
+// stream, then hand the message to the network.
+func (b *NetBackend) Send(ev core.SendEvent) {
+	_, cpuEnd := b.streams.Acquire(ev.Src, ev.CPU, b.eng.Now(), b.params.SendOverhead)
+	h := ev.Handle
+	b.eng.Schedule(cpuEnd, func() {
+		b.over(h, cpuEnd)
+		b.net.Send(ev.Src, ev.Dst, ev.Size, func(at simtime.Time) {
+			if rv, ok := b.match.Arrive(ev.Dst, ev.Src, ev.Tag, netMsg{arrival: at}); ok {
+				b.completeRecv(rv, at)
+			}
+		})
+	})
+}
+
+// Recv implements core.Backend.
+func (b *NetBackend) Recv(ev core.RecvEvent) {
+	rv := netRecv{ev: ev, post: b.eng.Now()}
+	if msg, ok := b.match.Post(ev.Dst, ev.Src, ev.Tag, rv); ok {
+		b.completeRecv(rv, msg.arrival)
+	}
+}
+
+func (b *NetBackend) completeRecv(rv netRecv, arrival simtime.Time) {
+	from := simtime.Max(arrival, b.eng.Now())
+	_, end := b.streams.Acquire(rv.ev.Dst, rv.ev.CPU, from, b.params.RecvOverhead)
+	h := rv.ev.Handle
+	b.eng.Schedule(end, func() { b.over(h, end) })
+}
+
+// --- packet-level backend ---------------------------------------------------
+
+// pktAdapter narrows *pktnet.Network to MessageNet.
+type pktAdapter struct{ n *pktnet.Network }
+
+func (a pktAdapter) Send(src, dst int, size int64, onDelivered func(simtime.Time)) {
+	a.n.Send(src, dst, size, onDelivered)
+}
+
+// PktConfig configures the packet-level backend.
+type PktConfig struct {
+	Net    pktnet.Config // Topo must cover the schedule's rank count
+	Params NetParams
+}
+
+// DefaultNetParams mirrors the LGS AI overhead (o = 200 ns) so backends
+// are comparable out of the box.
+func DefaultNetParams() NetParams {
+	return NetParams{
+		SendOverhead: 200 * simtime.Nanosecond,
+		RecvOverhead: 200 * simtime.Nanosecond,
+	}
+}
+
+// NewPkt creates the packet-level ("ATLAHS htsim") backend. Stats gives
+// access to drop/trim counters after the run.
+func NewPkt(cfg PktConfig) *Pkt {
+	b := &Pkt{}
+	b.name = "pkt"
+	b.params = cfg.Params
+	b.mkNet = func(eng *engine.Engine, nranks int) (MessageNet, error) {
+		if cfg.Net.Topo == nil {
+			return nil, fmt.Errorf("pkt backend: nil topology")
+		}
+		if cfg.Net.Topo.NumHosts() < nranks {
+			return nil, fmt.Errorf("pkt backend: topology has %d hosts for %d ranks", cfg.Net.Topo.NumHosts(), nranks)
+		}
+		n, err := pktnet.New(eng, cfg.Net)
+		if err != nil {
+			return nil, err
+		}
+		n.MCT = b.mct
+		b.pn = n
+		return pktAdapter{n}, nil
+	}
+	return b
+}
+
+// Pkt is the packet-level backend (NetBackend over pktnet).
+type Pkt struct {
+	NetBackend
+	pn  *pktnet.Network
+	mct *stats.Sample
+}
+
+// AttachMCT makes the underlying network record every message's completion
+// time into sample (paper Fig 11's metric). Call before the scheduler's
+// Setup runs.
+func (b *Pkt) AttachMCT(sample *stats.Sample) { b.mct = sample }
+
+// NetStats returns the packet-level counters (drops, trims, ...) after a
+// run — the paper's point in Fig 12: only packet-level backends can report
+// these.
+func (b *Pkt) NetStats() pktnet.Stats {
+	if b.pn == nil {
+		return pktnet.Stats{}
+	}
+	return b.pn.Stats
+}
+
+// --- fluid backend -----------------------------------------------------------
+
+// fluidAdapter narrows *fluid.Network to MessageNet.
+type fluidAdapter struct{ n *fluid.Network }
+
+func (a fluidAdapter) Send(src, dst int, size int64, onDelivered func(simtime.Time)) {
+	a.n.Send(src, dst, size, onDelivered)
+}
+
+// FluidConfig configures the fluid backend.
+type FluidConfig struct {
+	Net    fluid.Config
+	Params NetParams
+}
+
+// NewFluid creates the fluid flow-level backend.
+func NewFluid(cfg FluidConfig) *NetBackend {
+	b := &NetBackend{name: "fluid", params: cfg.Params}
+	b.mkNet = func(eng *engine.Engine, nranks int) (MessageNet, error) {
+		if cfg.Net.Topo == nil {
+			return nil, fmt.Errorf("fluid backend: nil topology")
+		}
+		if cfg.Net.Topo.NumHosts() < nranks {
+			return nil, fmt.Errorf("fluid backend: topology has %d hosts for %d ranks", cfg.Net.Topo.NumHosts(), nranks)
+		}
+		n, err := fluid.New(eng, cfg.Net)
+		if err != nil {
+			return nil, err
+		}
+		return fluidAdapter{n}, nil
+	}
+	return b
+}
+
+// FatTreeFor builds a two-level fat tree with at least nranks hosts,
+// hostsPerToR hosts per ToR and the given number of core switches —
+// convenience used by experiments and examples.
+func FatTreeFor(nranks, hostsPerToR, cores int, spec topo.LinkSpec) (*topo.Topology, error) {
+	hosts := nranks
+	if rem := hosts % hostsPerToR; rem != 0 {
+		hosts += hostsPerToR - rem
+	}
+	return topo.NewFatTree(topo.FatTreeConfig{
+		Hosts: hosts, HostsPerToR: hostsPerToR, Cores: cores,
+		HostLink: spec, UplinkLink: spec,
+	})
+}

@@ -1,0 +1,198 @@
+package collective
+
+import "atlahs/internal/goal"
+
+// recDoublingAllreduce exchanges the full vector with a partner at
+// distance 2^k each round — latency-optimal for small payloads. For
+// non-powers of two the standard fold is used: the first `rem` odd ranks
+// fold into their even neighbour before the doubling phase and get the
+// result back afterwards.
+func recDoublingAllreduce(b *goal.Builder, ranks []int, bytes int64, opt Options, entry []goal.OpID) []goal.OpID {
+	n := len(ranks)
+	w := WireBytes(opt.Protocol, bytes)
+	tag := opt.TagBase
+	p2 := 1
+	for p2*2 <= n {
+		p2 *= 2
+	}
+	rem := n - p2
+
+	last := make([]goal.OpID, n)
+	for i := range last {
+		last[i] = entryOf(entry, i)
+	}
+	reduceCalc := func(pos int, after goal.OpID) goal.OpID {
+		if opt.ReduceNsPerByte <= 0 || bytes == 0 {
+			return after
+		}
+		rb := b.Rank(ranks[pos])
+		c := rb.CalcOn(int64(opt.ReduceNsPerByte*float64(bytes)), opt.CPU)
+		rb.Requires(c, after)
+		return c
+	}
+
+	// fold phase: positions 2i+1 (i < rem) send to 2i
+	for i := 0; i < rem; i++ {
+		odd, even := 2*i+1, 2*i
+		sb := b.Rank(ranks[odd])
+		s := sb.SendOn(w, ranks[even], tag, opt.CPU)
+		requireEntry(sb, s, last[odd])
+		last[odd] = s
+		rb := b.Rank(ranks[even])
+		r := rb.RecvOn(w, ranks[odd], tag, opt.CPU)
+		requireEntry(rb, r, last[even])
+		last[even] = reduceCalc(even, r)
+	}
+
+	// active set: evens of the folded pairs + the tail
+	active := make([]int, 0, p2)
+	for i := 0; i < rem; i++ {
+		active = append(active, 2*i)
+	}
+	for p := 2 * rem; p < n; p++ {
+		active = append(active, p)
+	}
+
+	// doubling phase among active positions
+	for k := 1; k < p2; k <<= 1 {
+		newLast := make([]goal.OpID, len(active))
+		for ai, pos := range active {
+			partner := active[ai^k]
+			rb := b.Rank(ranks[pos])
+			s := rb.SendOn(w, ranks[partner], tag+1, opt.CPU)
+			requireEntry(rb, s, last[pos])
+			r := rb.RecvOn(w, ranks[partner], tag+1, opt.CPU)
+			requireEntry(rb, r, last[pos])
+			newLast[ai] = reduceCalc(pos, exitOf(rb, opt, s, r))
+		}
+		for ai, pos := range active {
+			last[pos] = newLast[ai]
+		}
+	}
+
+	// unfold: evens return the result to their odd partner
+	for i := 0; i < rem; i++ {
+		odd, even := 2*i+1, 2*i
+		sb := b.Rank(ranks[even])
+		s := sb.SendOn(w, ranks[odd], tag+2, opt.CPU)
+		requireEntry(sb, s, last[even])
+		last[even] = s
+		rb := b.Rank(ranks[odd])
+		r := rb.RecvOn(w, ranks[even], tag+2, opt.CPU)
+		requireEntry(rb, r, last[odd])
+		last[odd] = r
+	}
+	return last
+}
+
+// pairwiseAlltoall: N-1 rounds; in round s, position i exchanges its
+// per-peer block with positions i+s and i-s. Rounds are chained per rank
+// to bound concurrent buffer usage (the conventional MPI implementation).
+func pairwiseAlltoall(b *goal.Builder, ranks []int, bytes int64, opt Options, entry []goal.OpID) []goal.OpID {
+	n := len(ranks)
+	w := WireBytes(opt.Protocol, bytes)
+	last := make([]goal.OpID, n)
+	for i := range last {
+		last[i] = entryOf(entry, i)
+	}
+	for s := 1; s < n; s++ {
+		tag := opt.TagBase + int32(s%TagSpan)
+		for i := 0; i < n; i++ {
+			rb := b.Rank(ranks[i])
+			to := ranks[(i+s)%n]
+			from := ranks[(i-s+n)%n]
+			snd := rb.SendOn(w, to, tag, opt.CPU)
+			requireEntry(rb, snd, last[i])
+			rcv := rb.RecvOn(w, from, tag, opt.CPU)
+			requireEntry(rb, rcv, last[i])
+			last[i] = exitOf(rb, opt, snd, rcv)
+		}
+	}
+	return last
+}
+
+// disseminationBarrier: ceil(log2 N) rounds of 1-byte tokens to the
+// +2^k neighbour; after the last round every rank knows all arrived.
+func disseminationBarrier(b *goal.Builder, ranks []int, opt Options, entry []goal.OpID) []goal.OpID {
+	n := len(ranks)
+	last := make([]goal.OpID, n)
+	for i := range last {
+		last[i] = entryOf(entry, i)
+	}
+	round := 0
+	for k := 1; k < n; k <<= 1 {
+		tag := opt.TagBase + int32(round%TagSpan)
+		round++
+		newLast := make([]goal.OpID, n)
+		for i := 0; i < n; i++ {
+			rb := b.Rank(ranks[i])
+			snd := rb.SendOn(1, ranks[(i+k)%n], tag, opt.CPU)
+			requireEntry(rb, snd, last[i])
+			rcv := rb.RecvOn(1, ranks[(i-k+n)%n], tag, opt.CPU)
+			requireEntry(rb, rcv, last[i])
+			newLast[i] = exitOf(rb, opt, snd, rcv)
+		}
+		last = newLast
+	}
+	return last
+}
+
+// linearGather: every non-root sends its block to the root.
+func linearGather(b *goal.Builder, ranks []int, root int, bytes int64, opt Options, entry []goal.OpID) []goal.OpID {
+	n := len(ranks)
+	w := WireBytes(opt.Protocol, bytes)
+	tag := opt.TagBase
+	out := make([]goal.OpID, n)
+	rootRB := b.Rank(ranks[root])
+	var rootLast goal.OpID = -1
+	for i := 0; i < n; i++ {
+		if i == root {
+			continue
+		}
+		rb := b.Rank(ranks[i])
+		s := rb.SendOn(w, ranks[root], tag, opt.CPU)
+		requireEntry(rb, s, entryOf(entry, i))
+		out[i] = s
+		r := rootRB.RecvOn(w, ranks[i], tag, opt.CPU)
+		requireEntry(rootRB, r, entryOf(entry, root))
+		if rootLast >= 0 {
+			rootRB.Requires(r, rootLast)
+		}
+		rootLast = r
+	}
+	if rootLast < 0 {
+		rootLast = rootRB.CalcOn(0, opt.CPU)
+	}
+	out[root] = rootLast
+	return out
+}
+
+// linearScatter: the root sends each rank its block.
+func linearScatter(b *goal.Builder, ranks []int, root int, bytes int64, opt Options, entry []goal.OpID) []goal.OpID {
+	n := len(ranks)
+	w := WireBytes(opt.Protocol, bytes)
+	tag := opt.TagBase
+	out := make([]goal.OpID, n)
+	rootRB := b.Rank(ranks[root])
+	var rootLast goal.OpID = -1
+	for i := 0; i < n; i++ {
+		if i == root {
+			continue
+		}
+		s := rootRB.SendOn(w, ranks[i], tag, opt.CPU)
+		requireEntry(rootRB, s, entryOf(entry, root))
+		if rootLast >= 0 {
+			rootRB.Requires(s, rootLast)
+		}
+		rootLast = s
+		rb := b.Rank(ranks[i])
+		r := rb.RecvOn(w, ranks[root], tag, opt.CPU)
+		requireEntry(rb, r, entryOf(entry, i))
+		out[i] = r
+	}
+	if rootLast < 0 {
+		rootLast = rootRB.CalcOn(0, opt.CPU)
+	}
+	out[root] = rootLast
+	return out
+}

@@ -1,0 +1,104 @@
+package collective
+
+import "atlahs/internal/goal"
+
+// binomialBcast: in round k the first 2^k ranks (root-relative) send to
+// their +2^k partner; log2(N) rounds total.
+func binomialBcast(b *goal.Builder, ranks []int, root int, bytes int64, opt Options, entry []goal.OpID) []goal.OpID {
+	n := len(ranks)
+	w := WireBytes(opt.Protocol, bytes)
+	tag := opt.TagBase
+	// rel position p corresponds to ranks[(root+p)%n]
+	rankAt := func(p int) int { return ranks[(root+p)%n] }
+	posAt := func(p int) int { return (root + p) % n }
+	last := make([]goal.OpID, n) // last op per relative position
+	for i := range last {
+		last[i] = -1
+	}
+	for k := 1; k < n; k <<= 1 {
+		for p := 0; p < n; p++ {
+			if p < k && p+k < n {
+				// sender
+				sb := b.Rank(rankAt(p))
+				s := sb.SendOn(w, rankAt(p+k), tag, opt.CPU)
+				requireEntry(sb, s, entryOf(entry, posAt(p)))
+				if last[p] >= 0 {
+					sb.Requires(s, last[p])
+				}
+				last[p] = s
+				// receiver
+				rb := b.Rank(rankAt(p + k))
+				r := rb.RecvOn(w, rankAt(p), tag, opt.CPU)
+				requireEntry(rb, r, entryOf(entry, posAt(p+k)))
+				last[p+k] = r
+			}
+		}
+	}
+	out := make([]goal.OpID, n)
+	for p := 0; p < n; p++ {
+		id := last[p]
+		if id < 0 {
+			// only possible for n == 1, handled by the caller; keep safe
+			rb := b.Rank(rankAt(p))
+			id = rb.CalcOn(0, opt.CPU)
+		}
+		out[posAt(p)] = id
+	}
+	return out
+}
+
+// binomialReduce mirrors binomialBcast with reversed data flow: leaves
+// send first, the root receives last. A reducing calc may follow each recv.
+func binomialReduce(b *goal.Builder, ranks []int, root int, bytes int64, opt Options, entry []goal.OpID) []goal.OpID {
+	n := len(ranks)
+	w := WireBytes(opt.Protocol, bytes)
+	tag := opt.TagBase
+	rankAt := func(p int) int { return ranks[(root+p)%n] }
+	posAt := func(p int) int { return (root + p) % n }
+	last := make([]goal.OpID, n)
+	for i := range last {
+		last[i] = -1
+	}
+	// largest power of two < 2n
+	start := 1
+	for start < n {
+		start <<= 1
+	}
+	for k := start; k >= 1; k >>= 1 {
+		for p := 0; p < n; p++ {
+			if p < k && p+k < n {
+				// p+k sends its (partial) result to p
+				sb := b.Rank(rankAt(p + k))
+				s := sb.SendOn(w, rankAt(p), tag, opt.CPU)
+				requireEntry(sb, s, entryOf(entry, posAt(p+k)))
+				if last[p+k] >= 0 {
+					sb.Requires(s, last[p+k])
+				}
+				last[p+k] = s
+				rb := b.Rank(rankAt(p))
+				r := rb.RecvOn(w, rankAt(p+k), tag, opt.CPU)
+				requireEntry(rb, r, entryOf(entry, posAt(p)))
+				if last[p] >= 0 {
+					rb.Requires(r, last[p])
+				}
+				lastOp := r
+				if opt.ReduceNsPerByte > 0 && bytes > 0 {
+					calc := rb.CalcOn(int64(opt.ReduceNsPerByte*float64(bytes)), opt.CPU)
+					rb.Requires(calc, r)
+					lastOp = calc
+				}
+				last[p] = lastOp
+			}
+		}
+	}
+	out := make([]goal.OpID, n)
+	for p := 0; p < n; p++ {
+		id := last[p]
+		if id < 0 {
+			rb := b.Rank(rankAt(p))
+			id = rb.CalcOn(0, opt.CPU)
+		}
+		out[posAt(p)] = id
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+// Package core defines the ATLAHS toolchain API (paper Fig 7): the
+// backend interface through which the GOAL scheduler drives any network
+// simulator, the event types for the three core operations (send, recv,
+// calc), and shared building blocks — message matching and compute-stream
+// bookkeeping — used by the backend implementations.
+//
+// The contract mirrors the paper's ATLAHS_API class: the scheduler issues
+// operations as their GOAL dependencies resolve; the backend simulates them
+// against its own model of the network and calls the completion callback
+// ("eventOver") with the simulated completion time. Any simulator able to
+// honour this contract can be plugged in; this repository wires three
+// (LogGOPS message-level, packet-level, fluid flow-level).
+package core
+
+import (
+	"atlahs/internal/engine"
+	"atlahs/internal/simtime"
+)
+
+// Handle identifies an issued operation; the scheduler encodes (rank, op
+// index) into it and decodes it when the completion arrives.
+type Handle uint64
+
+// MakeHandle packs a rank and per-rank op index.
+func MakeHandle(rank int, op int32) Handle {
+	return Handle(uint64(uint32(rank))<<32 | uint64(uint32(op)))
+}
+
+// Rank extracts the rank from a handle.
+func (h Handle) Rank() int { return int(uint32(h >> 32)) }
+
+// Op extracts the op index from a handle.
+func (h Handle) Op() int32 { return int32(uint32(h)) }
+
+// CompletionFunc is the eventOver callback: the backend reports that the
+// operation identified by h semantically completed at time at.
+type CompletionFunc func(h Handle, at simtime.Time)
+
+// SendEvent asks the backend to transmit Size bytes from rank Src to rank
+// Dst with the given tag, issued from compute stream CPU. The operation
+// completes (for GOAL dependency purposes) when the sending resources are
+// released — message-level backends release at local overhead completion
+// for eager sends; the transfer itself feeds the destination's matcher.
+type SendEvent struct {
+	Handle Handle
+	Src    int
+	Dst    int
+	Size   int64
+	Tag    int32
+	CPU    int32
+}
+
+// RecvEvent posts a receive at rank Dst for Size bytes from rank Src with
+// the given tag (TagAny matches any tag from Src). The operation completes
+// when a matching message has fully arrived and the receive overhead has
+// been charged.
+type RecvEvent struct {
+	Handle Handle
+	Dst    int
+	Src    int
+	Size   int64
+	Tag    int32
+	CPU    int32
+}
+
+// TagAny is the wildcard receive tag (mirrors goal.AnyTag).
+const TagAny int32 = -1
+
+// CalcEvent occupies rank Rank's compute stream CPU for Duration.
+type CalcEvent struct {
+	Handle   Handle
+	Rank     int
+	CPU      int32
+	Duration simtime.Duration
+}
+
+// Backend is the ATLAHS simulator interface. Implementations are
+// single-simulation objects: Setup is called exactly once before any
+// operation is issued.
+type Backend interface {
+	// Name identifies the backend ("lgs", "pkt", "fluid", ...).
+	Name() string
+	// Setup binds the backend to the engine and registers the completion
+	// callback. nranks is the number of GOAL ranks (= simulated nodes).
+	Setup(nranks int, eng *engine.Engine, over CompletionFunc) error
+	// Send, Recv and Calc issue operations; completions arrive via the
+	// callback registered in Setup, at simulated times >= the issue time.
+	Send(ev SendEvent)
+	Recv(ev RecvEvent)
+	Calc(ev CalcEvent)
+}
+
+// StreamTable tracks per-rank, per-compute-stream availability. GOAL ops
+// assigned to the same stream serialise even when their dependencies would
+// allow overlap; ops on different streams of the same rank proceed in
+// parallel (paper §2.1).
+type StreamTable struct {
+	free []map[int32]simtime.Time
+}
+
+// NewStreamTable creates a table for nranks ranks.
+func NewStreamTable(nranks int) *StreamTable {
+	st := &StreamTable{free: make([]map[int32]simtime.Time, nranks)}
+	for i := range st.free {
+		st.free[i] = map[int32]simtime.Time{}
+	}
+	return st
+}
+
+// Acquire reserves stream cpu of rank from time `from` for dur and returns
+// the actual [start, end) of the reservation (start >= from, delayed if
+// the stream is busy).
+func (st *StreamTable) Acquire(rank int, cpu int32, from simtime.Time, dur simtime.Duration) (start, end simtime.Time) {
+	start = from
+	if f := st.free[rank][cpu]; f > start {
+		start = f
+	}
+	end = start.Add(dur)
+	st.free[rank][cpu] = end
+	return start, end
+}
+
+// FreeAt returns when stream cpu of rank next becomes available.
+func (st *StreamTable) FreeAt(rank int, cpu int32) simtime.Time {
+	return st.free[rank][cpu]
+}

@@ -1,0 +1,127 @@
+// Package engine implements the deterministic discrete-event core that
+// drives every ATLAHS simulation backend.
+//
+// The engine maintains a binary heap of pending events ordered by
+// (timestamp, sequence number). Ties in timestamp are broken by insertion
+// order, which makes every simulation fully deterministic: identical inputs
+// produce identical event interleavings and therefore identical results.
+// All backends (LogGOPS message-level, packet-level, fluid-flow) schedule
+// their work through a single Engine instance per simulation.
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+
+	"atlahs/internal/simtime"
+)
+
+// Handler is the callback invoked when an event fires. It runs at the
+// event's timestamp; Engine.Now() returns that timestamp during the call.
+type Handler func()
+
+type event struct {
+	at  simtime.Time
+	seq uint64
+	fn  Handler
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator clock and queue.
+// The zero value is not usable; create one with New.
+type Engine struct {
+	now     simtime.Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// Processed counts events executed so far (for stats/benchmarks).
+	Processed uint64
+}
+
+// New returns an empty engine with the clock at time zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() simtime.Time { return e.now }
+
+// Pending reports the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run at absolute time at. Scheduling in the past
+// panics: that is always a simulator bug, never a recoverable condition.
+func (e *Engine) Schedule(at simtime.Time, fn Handler) {
+	if at < e.now {
+		panic(fmt.Sprintf("engine: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After enqueues fn to run d after the current time.
+func (e *Engine) After(d simtime.Duration, fn Handler) {
+	e.Schedule(e.now.Add(d), fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue drains or Stop is
+// called, and returns the time of the last executed event.
+func (e *Engine) Run() simtime.Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.at
+		e.Processed++
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline and returns the
+// current time afterwards. Events beyond the deadline stay queued.
+func (e *Engine) RunUntil(deadline simtime.Time) simtime.Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped && e.queue[0].at <= deadline {
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.at
+		e.Processed++
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Reset discards all pending events and rewinds the clock to zero so the
+// engine can be reused for another simulation.
+func (e *Engine) Reset() {
+	e.now = 0
+	e.seq = 0
+	e.queue = e.queue[:0]
+	e.stopped = false
+	e.Processed = 0
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"atlahs/internal/goal"
+	"atlahs/internal/trace/ncclgoal"
+	"atlahs/internal/workload/llm"
+)
+
+// Fig9Row compares GOAL and Chakra trace sizes for one configuration.
+type Fig9Row struct {
+	Label       string
+	GOALBytes   int64
+	ChakraBytes int64
+	Ratio       float64 // Chakra / GOAL (the paper's green labels, inverted)
+}
+
+// Fig9Result collects all configurations.
+type Fig9Result struct {
+	Rows []Fig9Row
+}
+
+// Fig9 reproduces the trace-size comparison (paper Fig 9): the binary GOAL
+// files ATLAHS simulates from are consistently smaller than the Chakra
+// execution traces AstraSim consumes (1.8x-10.6x in the paper).
+func Fig9(w io.Writer, mode Mode) (*Fig9Result, error) {
+	header(w, "Fig 9 — trace size: GOAL vs Chakra")
+	res := &Fig9Result{}
+	fmt.Fprintf(w, "%-38s %12s %12s %8s\n", "configuration", "GOAL (MiB)", "Chakra (MiB)", "ratio")
+	for i, c := range fig8Cases(mode) {
+		cfg := llm.Config{Model: c.Model, Par: c.Par, Scale: c.Scale, Seed: uint64(40 + i)}
+		rep, err := llm.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sch, err := ncclgoal.Generate(rep, ncclgoal.Config{GPUsPerNode: c.GPN})
+		if err != nil {
+			return nil, err
+		}
+		var goalCW countingWriter
+		if err := goal.WriteBinary(&goalCW, sch); err != nil {
+			return nil, err
+		}
+		ctr, err := llm.GenerateChakra(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var chakraCW countingWriter
+		if _, err := ctr.WriteTo(&chakraCW); err != nil {
+			return nil, err
+		}
+		row := Fig9Row{
+			Label:       c.Label,
+			GOALBytes:   goalCW.n,
+			ChakraBytes: chakraCW.n,
+			Ratio:       float64(chakraCW.n) / float64(goalCW.n),
+		}
+		res.Rows = append(res.Rows, row)
+		fmt.Fprintf(w, "%-38s %12.3f %12.3f %7.2fx\n",
+			row.Label, MiB(row.GOALBytes), MiB(row.ChakraBytes), row.Ratio)
+	}
+	fmt.Fprintln(w, "\npaper: Chakra traces are 1.8x-10.6x larger than the GOAL equivalents.")
+	return res, nil
+}

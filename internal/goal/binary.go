@@ -1,0 +1,185 @@
+package goal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary GOAL format ("GOAL schedules are stored and executed in a compact
+// binary format", paper §2.1). The encoding is varint-based:
+//
+//	magic   "GOALB1\n"
+//	uvarint nranks
+//	per rank:
+//	  uvarint nops
+//	  per op:
+//	    byte   kind | flags (hasTag<<2, hasCPU<<3)
+//	    uvarint size
+//	    send/recv: uvarint peer, [svarint tag], [uvarint cpu]
+//	    calc:      [uvarint cpu]
+//	  per op: uvarint ndeps,  svarint delta(i - dep) for requires
+//	  per op: uvarint nideps, svarint delta(i - dep) for irequires
+//
+// Dependency targets are encoded as deltas from the dependent op index,
+// which are small for the chain-heavy graphs trace conversion produces —
+// this is what makes GOAL files several times smaller than Chakra ETs
+// (paper Fig 9).
+
+const binaryMagic = "GOALB1\n"
+
+// WriteBinary encodes the schedule in compact binary format.
+func WriteBinary(w io.Writer, s *Schedule) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putU := func(v uint64) {
+		n := binary.PutUvarint(buf[:], v)
+		bw.Write(buf[:n])
+	}
+	putS := func(v int64) {
+		n := binary.PutVarint(buf[:], v)
+		bw.Write(buf[:n])
+	}
+	putU(uint64(s.NumRanks()))
+	for r := range s.Ranks {
+		rp := &s.Ranks[r]
+		putU(uint64(len(rp.Ops)))
+		for i := range rp.Ops {
+			op := &rp.Ops[i]
+			flags := byte(op.Kind)
+			if op.Tag != 0 {
+				flags |= 1 << 2
+			}
+			if op.CPU != 0 {
+				flags |= 1 << 3
+			}
+			bw.WriteByte(flags)
+			putU(uint64(op.Size))
+			if op.Kind != KindCalc {
+				putU(uint64(op.Peer))
+				if flags&(1<<2) != 0 {
+					putS(int64(op.Tag))
+				}
+			}
+			if flags&(1<<3) != 0 {
+				putU(uint64(op.CPU))
+			}
+		}
+		writeDeps := func(deps [][]int32) {
+			for i := range deps {
+				putU(uint64(len(deps[i])))
+				for _, d := range deps[i] {
+					putS(int64(int32(i) - d))
+				}
+			}
+		}
+		writeDeps(rp.Requires)
+		writeDeps(rp.IRequires)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a schedule from compact binary format and validates it.
+func ReadBinary(r io.Reader) (*Schedule, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("goal: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("goal: bad magic %q (not a binary GOAL file)", magic)
+	}
+	getU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getS := func() (int64, error) { return binary.ReadVarint(br) }
+
+	nranks, err := getU()
+	if err != nil {
+		return nil, fmt.Errorf("goal: reading rank count: %w", err)
+	}
+	if nranks == 0 || nranks > 1<<24 {
+		return nil, fmt.Errorf("goal: implausible rank count %d", nranks)
+	}
+	s := &Schedule{Ranks: make([]RankProgram, nranks)}
+	for r := range s.Ranks {
+		rp := &s.Ranks[r]
+		nops, err := getU()
+		if err != nil {
+			return nil, fmt.Errorf("goal: rank %d op count: %w", r, err)
+		}
+		if nops > 1<<30 {
+			return nil, fmt.Errorf("goal: rank %d: implausible op count %d", r, nops)
+		}
+		rp.Ops = make([]Op, nops)
+		for i := range rp.Ops {
+			op := &rp.Ops[i]
+			flags, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("goal: rank %d op %d: %w", r, i, err)
+			}
+			op.Kind = Kind(flags & 0x3)
+			sz, err := getU()
+			if err != nil {
+				return nil, fmt.Errorf("goal: rank %d op %d size: %w", r, i, err)
+			}
+			op.Size = int64(sz)
+			op.Peer = -1
+			if op.Kind != KindCalc {
+				peer, err := getU()
+				if err != nil {
+					return nil, fmt.Errorf("goal: rank %d op %d peer: %w", r, i, err)
+				}
+				op.Peer = int32(peer)
+				if flags&(1<<2) != 0 {
+					tag, err := getS()
+					if err != nil {
+						return nil, fmt.Errorf("goal: rank %d op %d tag: %w", r, i, err)
+					}
+					op.Tag = int32(tag)
+				}
+			}
+			if flags&(1<<3) != 0 {
+				cpu, err := getU()
+				if err != nil {
+					return nil, fmt.Errorf("goal: rank %d op %d cpu: %w", r, i, err)
+				}
+				op.CPU = int32(cpu)
+			}
+		}
+		readDeps := func() ([][]int32, error) {
+			deps := make([][]int32, nops)
+			for i := range deps {
+				n, err := getU()
+				if err != nil {
+					return nil, err
+				}
+				if n == 0 {
+					continue
+				}
+				lst := make([]int32, n)
+				for j := range lst {
+					delta, err := getS()
+					if err != nil {
+						return nil, err
+					}
+					lst[j] = int32(i) - int32(delta)
+				}
+				deps[i] = lst
+			}
+			return deps, nil
+		}
+		if rp.Requires, err = readDeps(); err != nil {
+			return nil, fmt.Errorf("goal: rank %d requires: %w", r, err)
+		}
+		if rp.IRequires, err = readDeps(); err != nil {
+			return nil, fmt.Errorf("goal: rank %d irequires: %w", r, err)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

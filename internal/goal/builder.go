@@ -1,0 +1,154 @@
+package goal
+
+import "fmt"
+
+// OpID identifies an op within one rank's program during construction.
+type OpID int32
+
+// Builder incrementally constructs a Schedule. It is the API used by every
+// trace converter (Schedgen, the NCCL 4-stage pipeline, Direct Drive) and
+// workload generator. Builders are not safe for concurrent use.
+type Builder struct {
+	ranks   []rankBuilder
+	comment string
+}
+
+type rankBuilder struct {
+	ops       []Op
+	requires  [][]int32
+	irequires [][]int32
+}
+
+// NewBuilder creates a builder for a schedule with nranks ranks.
+func NewBuilder(nranks int) *Builder {
+	if nranks <= 0 {
+		panic("goal: NewBuilder with non-positive rank count")
+	}
+	return &Builder{ranks: make([]rankBuilder, nranks)}
+}
+
+// SetComment attaches a free-form comment stored with the schedule.
+func (b *Builder) SetComment(c string) { b.comment = c }
+
+// NumRanks returns the schedule's rank count.
+func (b *Builder) NumRanks() int { return len(b.ranks) }
+
+// Rank returns the per-rank builder handle for rank r.
+func (b *Builder) Rank(r int) *RankBuilder {
+	if r < 0 || r >= len(b.ranks) {
+		panic(fmt.Sprintf("goal: rank %d out of range [0,%d)", r, len(b.ranks)))
+	}
+	return &RankBuilder{b: b, r: r}
+}
+
+// RankBuilder adds ops and dependencies to one rank.
+type RankBuilder struct {
+	b *Builder
+	r int
+}
+
+// Rank returns the rank index this builder appends to.
+func (rb *RankBuilder) Rank() int { return rb.r }
+
+// NumOps returns the number of ops added to this rank so far.
+func (rb *RankBuilder) NumOps() int { return len(rb.b.ranks[rb.r].ops) }
+
+func (rb *RankBuilder) add(op Op) OpID {
+	rk := &rb.b.ranks[rb.r]
+	rk.ops = append(rk.ops, op)
+	rk.requires = append(rk.requires, nil)
+	rk.irequires = append(rk.irequires, nil)
+	return OpID(len(rk.ops) - 1)
+}
+
+// Calc appends a computation of the given nanoseconds on stream 0.
+func (rb *RankBuilder) Calc(nanos int64) OpID {
+	return rb.add(Op{Kind: KindCalc, Peer: -1, Size: nanos})
+}
+
+// CalcOn appends a computation on the given compute stream.
+func (rb *RankBuilder) CalcOn(nanos int64, cpu int32) OpID {
+	return rb.add(Op{Kind: KindCalc, Peer: -1, Size: nanos, CPU: cpu})
+}
+
+// Send appends a send of size bytes to rank dst with the given tag.
+func (rb *RankBuilder) Send(size int64, dst int, tag int32) OpID {
+	return rb.add(Op{Kind: KindSend, Peer: int32(dst), Tag: tag, Size: size})
+}
+
+// SendOn appends a send issued from the given compute stream.
+func (rb *RankBuilder) SendOn(size int64, dst int, tag int32, cpu int32) OpID {
+	return rb.add(Op{Kind: KindSend, Peer: int32(dst), Tag: tag, Size: size, CPU: cpu})
+}
+
+// Recv appends a receive of size bytes from rank src with the given tag.
+func (rb *RankBuilder) Recv(size int64, src int, tag int32) OpID {
+	return rb.add(Op{Kind: KindRecv, Peer: int32(src), Tag: tag, Size: size})
+}
+
+// RecvOn appends a receive posted on the given compute stream.
+func (rb *RankBuilder) RecvOn(size int64, src int, tag int32, cpu int32) OpID {
+	return rb.add(Op{Kind: KindRecv, Peer: int32(src), Tag: tag, Size: size, CPU: cpu})
+}
+
+// Requires adds completion dependencies: op starts only after each dep has
+// completed.
+func (rb *RankBuilder) Requires(op OpID, deps ...OpID) {
+	rk := &rb.b.ranks[rb.r]
+	for _, d := range deps {
+		rk.requires[op] = append(rk.requires[op], int32(d))
+	}
+}
+
+// IRequires adds start dependencies: op starts only after each dep has
+// started.
+func (rb *RankBuilder) IRequires(op OpID, deps ...OpID) {
+	rk := &rb.b.ranks[rb.r]
+	for _, d := range deps {
+		rk.irequires[op] = append(rk.irequires[op], int32(d))
+	}
+}
+
+// Chain links ops into a sequential requires chain (each op requires its
+// predecessor) and returns the last op, or -1 for an empty argument list.
+func (rb *RankBuilder) Chain(ops ...OpID) OpID {
+	if len(ops) == 0 {
+		return -1
+	}
+	for i := 1; i < len(ops); i++ {
+		rb.Requires(ops[i], ops[i-1])
+	}
+	return ops[len(ops)-1]
+}
+
+// Build assembles the final Schedule. The builder remains usable (the
+// schedule shares no mutable state with it after Build copies slices).
+func (b *Builder) Build() *Schedule {
+	s := &Schedule{Comment: b.comment, Ranks: make([]RankProgram, len(b.ranks))}
+	for r := range b.ranks {
+		rk := &b.ranks[r]
+		rp := &s.Ranks[r]
+		rp.Ops = append([]Op(nil), rk.ops...)
+		rp.Requires = make([][]int32, len(rk.ops))
+		rp.IRequires = make([][]int32, len(rk.ops))
+		for i := range rk.ops {
+			if len(rk.requires[i]) > 0 {
+				rp.Requires[i] = append([]int32(nil), rk.requires[i]...)
+			}
+			if len(rk.irequires[i]) > 0 {
+				rp.IRequires[i] = append([]int32(nil), rk.irequires[i]...)
+			}
+		}
+	}
+	return s
+}
+
+// MustBuild assembles the Schedule and panics if validation fails. Intended
+// for generators whose output is by construction valid.
+func (b *Builder) MustBuild() *Schedule {
+	s := b.Build()
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,305 @@
+package pktnet
+
+import (
+	"atlahs/internal/cc"
+	"atlahs/internal/simtime"
+)
+
+// flow is one message in flight: sender-side transport state plus identity.
+// Window-based algorithms (MPRDMA, Swift, DCTCP) pace sends against a
+// congestion window; NDP blasts an initial window and then sends one packet
+// per receiver pull, retransmitting trimmed packets on NACK.
+type flow struct {
+	net    *Network
+	id     uint64
+	src    int
+	dst    int
+	size   int64
+	npkts  int
+	onDone func(simtime.Time)
+
+	baseRTT simtime.Duration
+	rto     simtime.Duration
+	born    simtime.Time
+
+	// window transport state
+	ctrl     cc.Controller
+	nextSeq  int
+	inflight int64
+	acked    []bool
+	epoch    []uint16 // incremented per (re)transmission; stale RTOs ignored
+	rtx      []int
+	inRtx    []bool
+
+	// NDP transport state
+	grants int
+
+	pathCounter uint64
+}
+
+func newFlow(n *Network, id uint64, src, dst int, size int64, onDone func(simtime.Time)) *flow {
+	npkts := int((size + n.cfg.MTU - 1) / n.cfg.MTU)
+	f := &flow{
+		net: n, id: id, src: src, dst: dst, size: size, npkts: npkts,
+		onDone:  onDone,
+		baseRTT: n.baseRTT(src, dst),
+		acked:   make([]bool, npkts),
+		epoch:   make([]uint16, npkts),
+		inRtx:   make([]bool, npkts),
+	}
+	f.rto = n.rto(f.baseRTT)
+	return f
+}
+
+func (f *flow) payloadOf(seq int) int64 {
+	if seq == f.npkts-1 {
+		if rem := f.size - int64(seq)*f.net.cfg.MTU; rem > 0 {
+			return rem
+		}
+	}
+	return f.net.cfg.MTU
+}
+
+func (f *flow) start() {
+	if f.net.ndp {
+		bdp := int64(f.baseRTT) / int64(f.net.bottleneckPsPerByte(f.src, f.dst))
+		iw := int(bdp / f.net.cfg.MTU)
+		if iw < 1 {
+			iw = 1
+		}
+		f.grants = iw
+		f.pumpNDP()
+		return
+	}
+	bdp := int64(f.baseRTT) / int64(f.net.bottleneckPsPerByte(f.src, f.dst))
+	ctrl, err := cc.New(f.net.cfg.CC, cc.Params{
+		MTU:     f.net.cfg.MTU,
+		BaseRTT: f.baseRTT,
+		BDP:     bdp,
+	})
+	if err != nil {
+		panic(err) // validated at Network construction
+	}
+	f.ctrl = ctrl
+	f.pumpWindow()
+}
+
+// nextWork pops the next sequence number to transmit: retransmissions
+// first, then fresh data. Returns -1 when nothing is pending.
+func (f *flow) nextWork() int {
+	for len(f.rtx) > 0 {
+		seq := f.rtx[0]
+		f.rtx = f.rtx[1:]
+		f.inRtx[seq] = false
+		if !f.acked[seq] {
+			f.net.Stats.Retransmits++
+			return seq
+		}
+	}
+	if f.nextSeq < f.npkts {
+		seq := f.nextSeq
+		f.nextSeq++
+		return seq
+	}
+	return -1
+}
+
+func (f *flow) sendData(seq int) {
+	f.epoch[seq]++
+	p := &packet{
+		flow:    f,
+		kind:    pktData,
+		seq:     seq,
+		payload: f.payloadOf(seq),
+		sent:    f.net.eng.Now(),
+	}
+	p.wire = p.payload + f.net.cfg.Header
+	f.net.inject(f.src, f.dst, p, f.pathCounter)
+	f.pathCounter++
+}
+
+// --- window transport ------------------------------------------------------
+
+func (f *flow) pumpWindow() {
+	for f.inflight < f.ctrl.Window() {
+		seq := f.nextWork()
+		if seq < 0 {
+			return
+		}
+		f.inflight += f.payloadOf(seq)
+		f.sendData(seq)
+		f.armRTO(seq, f.epoch[seq])
+	}
+}
+
+func (f *flow) armRTO(seq int, epoch uint16) {
+	f.net.eng.After(f.rto, func() {
+		if f.acked[seq] || f.epoch[seq] != epoch || f.inRtx[seq] {
+			return
+		}
+		// Packet (or its ACK) was lost: release window and requeue.
+		f.inflight -= f.payloadOf(seq)
+		f.inRtx[seq] = true
+		f.rtx = append(f.rtx, seq)
+		f.ctrl.OnTimeout(f.net.eng.Now())
+		f.pumpWindow()
+	})
+}
+
+// onAck processes an acknowledgement (window transports only).
+func (f *flow) onAck(p *packet) {
+	if f.acked[p.seq] {
+		return
+	}
+	f.acked[p.seq] = true
+	f.inflight -= f.payloadOf(p.seq)
+	if f.inflight < 0 {
+		f.inflight = 0
+	}
+	now := f.net.eng.Now()
+	f.ctrl.OnAck(now, cc.Feedback{
+		AckedBytes: f.payloadOf(p.seq),
+		ECNMarked:  p.ecn,
+		RTT:        now.Sub(p.sent),
+	})
+	f.pumpWindow()
+}
+
+// --- NDP transport ----------------------------------------------------------
+
+func (f *flow) pumpNDP() {
+	for f.grants > 0 {
+		seq := f.nextWork()
+		if seq < 0 {
+			return
+		}
+		f.grants--
+		f.sendData(seq)
+	}
+}
+
+// onNack queues a trimmed packet for retransmission (sent on next pull).
+func (f *flow) onNack(p *packet) {
+	if f.acked[p.seq] || f.inRtx[p.seq] {
+		return
+	}
+	f.inRtx[p.seq] = true
+	f.rtx = append(f.rtx, p.seq)
+	f.pumpNDP()
+}
+
+// onPull grants the sender one more packet.
+func (f *flow) onPull() {
+	f.grants++
+	f.pumpNDP()
+}
+
+// --- receiver ----------------------------------------------------------------
+
+// rxFlow is the per-flow receive state held by the destination host.
+type rxFlow struct {
+	received []bool
+	count    int
+	done     bool
+}
+
+// hostRx is the per-host receive side: flow reassembly plus the NDP pull
+// pacer. All flows destined to one host share the pull pacer, which is what
+// lets NDP share the access link fairly under incast.
+type hostRx struct {
+	net     *Network
+	host    int
+	flows   map[uint64]*rxFlow
+	pullQ   []*flow
+	pacing  bool
+	spacing simtime.Duration
+}
+
+func newHostRx(n *Network, host int) *hostRx {
+	h := &hostRx{net: n, host: host, flows: map[uint64]*rxFlow{}}
+	// Pull spacing = serialisation time of a full MTU on the host access
+	// link, so granted packets arrive at most at link rate.
+	dev := n.topo.HostDevice(host)
+	spacing := simtime.Duration(n.cfg.MTU+n.cfg.Header) * 40
+	if out := n.topo.OutLinks(dev); len(out) > 0 {
+		spacing = simtime.Duration(n.cfg.MTU+n.cfg.Header) * n.topo.Links[out[0]].PsPerByte
+	}
+	h.spacing = spacing
+	return h
+}
+
+func (h *hostRx) stateOf(f *flow) *rxFlow {
+	rxf, ok := h.flows[f.id]
+	if !ok {
+		rxf = &rxFlow{received: make([]bool, f.npkts)}
+		h.flows[f.id] = rxf
+	}
+	return rxf
+}
+
+// onData handles a data packet (possibly trimmed to a header) arriving at
+// its destination host.
+func (h *hostRx) onData(p *packet) {
+	f := p.flow
+	rxf := h.stateOf(f)
+	if p.trimmed {
+		// NDP: payload was trimmed in the fabric; NACK it and request more.
+		nack := &packet{flow: f, kind: pktNack, seq: p.seq, wire: h.net.cfg.Header}
+		h.net.inject(h.host, f.src, nack, f.pathCounter)
+		f.pathCounter++
+		if !rxf.done {
+			h.requestPull(f)
+		}
+		return
+	}
+	first := !rxf.received[p.seq]
+	if first {
+		rxf.received[p.seq] = true
+		rxf.count++
+		h.net.Stats.PktsDelivered++
+	}
+	if h.net.ndp {
+		if !rxf.done && rxf.count < f.npkts {
+			h.requestPull(f)
+		}
+	} else {
+		// ACK every arrival (duplicates included) so spurious
+		// retransmissions still converge; sender dedups.
+		ack := &packet{flow: f, kind: pktAck, seq: p.seq, wire: h.net.cfg.Header, ecn: p.ecn, sent: p.sent}
+		h.net.inject(h.host, f.src, ack, f.pathCounter)
+		f.pathCounter++
+	}
+	if first && rxf.count == f.npkts && !rxf.done {
+		rxf.done = true
+		h.net.Stats.MsgsCompleted++
+		if h.net.MCT != nil {
+			h.net.MCT.AddDuration(h.net.eng.Now().Sub(f.born))
+		}
+		if f.onDone != nil {
+			f.onDone(h.net.eng.Now())
+		}
+	}
+}
+
+// requestPull enqueues a pull token for f on this host's paced pull queue.
+func (h *hostRx) requestPull(f *flow) {
+	h.pullQ = append(h.pullQ, f)
+	h.pump()
+}
+
+func (h *hostRx) pump() {
+	if h.pacing || len(h.pullQ) == 0 {
+		return
+	}
+	f := h.pullQ[0]
+	copy(h.pullQ, h.pullQ[1:])
+	h.pullQ = h.pullQ[:len(h.pullQ)-1]
+	pull := &packet{flow: f, kind: pktPull, wire: h.net.cfg.Header}
+	h.net.inject(h.host, f.src, pull, f.pathCounter)
+	f.pathCounter++
+	h.pacing = true
+	h.net.eng.After(h.spacing, func() {
+		h.pacing = false
+		h.pump()
+	})
+}

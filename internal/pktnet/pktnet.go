@@ -1,0 +1,351 @@
+// Package pktnet is the packet-level network simulator of ATLAHS — the
+// htsim-equivalent backend. It models MTU packetisation, per-port output
+// queues with finite byte capacity, RED-style ECN marking between Kmin and
+// Kmax (paper §5.1: 1 MiB buffers, 20%/80% thresholds), store-and-forward
+// switching with per-hop serialisation and propagation delays, packet drops,
+// NDP packet trimming, and per-packet window- or receiver-driven transports
+// built on the congestion-control algorithms in internal/cc.
+//
+// The simulator exposes a message API: Send(src, dst, bytes, onDelivered)
+// injects one message as an independent flow; the callback fires at the
+// simulated time the last payload byte reaches the destination. Per-message
+// completion times drive the storage case study (paper Fig 11); global
+// drop/trim counters drive the packet-level statistics of Fig 12.
+package pktnet
+
+import (
+	"fmt"
+
+	"atlahs/internal/cc"
+	"atlahs/internal/engine"
+	"atlahs/internal/simtime"
+	"atlahs/internal/stats"
+	"atlahs/internal/topo"
+	"atlahs/internal/xrand"
+)
+
+// Config parameterises a Network.
+type Config struct {
+	Topo     *topo.Topology
+	MTU      int64             // payload bytes per packet (default 4096)
+	Header   int64             // per-packet header bytes (default 64)
+	CC       string            // "mprdma", "swift", "dctcp" or "ndp" (default "mprdma")
+	KminFrac float64           // ECN mark start, fraction of buffer (default 0.2)
+	KmaxFrac float64           // ECN mark certain, fraction of buffer (default 0.8)
+	Selector topo.PathSelector // default: flow-hash ECMP; NDP defaults to spraying
+	Seed     uint64
+	RTO      simtime.Duration // retransmission timeout (default 4x worst-case base RTT)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MTU == 0 {
+		c.MTU = 4096
+	}
+	if c.Header == 0 {
+		c.Header = 64
+	}
+	if c.CC == "" {
+		c.CC = "mprdma"
+	}
+	if c.KminFrac == 0 {
+		c.KminFrac = 0.2
+	}
+	if c.KmaxFrac == 0 {
+		c.KmaxFrac = 0.8
+	}
+	if c.Selector == nil {
+		if cc.IsReceiverDriven(c.CC) {
+			c.Selector = topo.PacketSpray{}
+		} else {
+			c.Selector = topo.FlowHashECMP{}
+		}
+	}
+	return c
+}
+
+// Stats aggregates network-wide counters.
+type Stats struct {
+	PktsSent      uint64
+	PktsDelivered uint64
+	Drops         uint64
+	Trims         uint64
+	CtrlPkts      uint64
+	Retransmits   uint64
+	MsgsCompleted uint64
+}
+
+// Network is one packet-level simulation instance bound to an Engine.
+type Network struct {
+	eng    *engine.Engine
+	cfg    Config
+	topo   *topo.Topology
+	ports  []*port
+	hosts  []*hostRx // per host receiver state, indexed by host rank
+	nextID uint64
+	ndp    bool
+
+	Stats Stats
+
+	// MCT, when non-nil, records every message's completion time in
+	// microseconds (injection to last-byte delivery) — the metric of the
+	// storage case study, paper Fig 11.
+	MCT *stats.Sample
+}
+
+// New creates a packet network over the topology in cfg, scheduling all
+// events on eng.
+func New(eng *engine.Engine, cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("pktnet: nil topology")
+	}
+	if !cc.IsReceiverDriven(cfg.CC) {
+		// validate algorithm name early
+		if _, err := cc.New(cfg.CC, cc.Params{MTU: cfg.MTU, BaseRTT: simtime.Microsecond, BDP: cfg.MTU}); err != nil {
+			return nil, err
+		}
+	}
+	n := &Network{
+		eng:  eng,
+		cfg:  cfg,
+		topo: cfg.Topo,
+		ndp:  cc.IsReceiverDriven(cfg.CC),
+	}
+	rng := xrand.New(cfg.Seed ^ 0x41544c414853) // "ATLAHS"
+	n.ports = make([]*port, len(cfg.Topo.Links))
+	for i := range n.ports {
+		link := cfg.Topo.Links[i]
+		n.ports[i] = &port{
+			net:  n,
+			link: link,
+			kmin: int64(cfg.KminFrac * float64(link.BufBytes)),
+			kmax: int64(cfg.KmaxFrac * float64(link.BufBytes)),
+			rng:  rng.Split(),
+		}
+	}
+	n.hosts = make([]*hostRx, cfg.Topo.NumHosts())
+	for h := range n.hosts {
+		n.hosts[h] = newHostRx(n, h)
+	}
+	return n, nil
+}
+
+// Engine returns the event engine the network runs on.
+func (n *Network) Engine() *engine.Engine { return n.eng }
+
+// MTU returns the configured packet payload size.
+func (n *Network) MTU() int64 { return n.cfg.MTU }
+
+// Send injects a message from host src to host dst. onDelivered fires once
+// at the simulated time the final payload byte arrives. It returns the
+// flow ID (useful in tests).
+func (n *Network) Send(src, dst int, size int64, onDelivered func(simtime.Time)) uint64 {
+	if src == dst {
+		panic("pktnet: Send to self — intra-host transfers must be handled by the caller")
+	}
+	if size <= 0 {
+		size = 1
+	}
+	n.nextID++
+	f := newFlow(n, n.nextID, src, dst, size, onDelivered)
+	f.born = n.eng.Now()
+	f.start()
+	return f.id
+}
+
+// baseRTT returns the unloaded round-trip time for the first path of the
+// pair: per hop serialisation of one MTU plus propagation, both ways, plus
+// ack serialisation.
+func (n *Network) baseRTT(src, dst int) simtime.Duration {
+	fwd := n.topo.Paths(src, dst)
+	var d simtime.Duration
+	if len(fwd) == 0 {
+		return simtime.Microsecond
+	}
+	for _, lid := range fwd[0] {
+		l := &n.topo.Links[lid]
+		d += l.Latency + simtime.Duration(n.cfg.MTU+n.cfg.Header)*l.PsPerByte
+	}
+	rev := n.topo.Paths(dst, src)
+	for _, lid := range rev[0] {
+		l := &n.topo.Links[lid]
+		d += l.Latency + simtime.Duration(n.cfg.Header)*l.PsPerByte
+	}
+	return d
+}
+
+// bottleneckPsPerByte returns the slowest per-byte rate along the first
+// forward path (used for BDP estimation).
+func (n *Network) bottleneckPsPerByte(src, dst int) simtime.Duration {
+	paths := n.topo.Paths(src, dst)
+	if len(paths) == 0 {
+		return 40
+	}
+	var worst simtime.Duration
+	for _, lid := range paths[0] {
+		if g := n.topo.Links[lid].PsPerByte; g > worst {
+			worst = g
+		}
+	}
+	if worst == 0 {
+		worst = 1
+	}
+	return worst
+}
+
+func (n *Network) rto(base simtime.Duration) simtime.Duration {
+	if n.cfg.RTO > 0 {
+		return n.cfg.RTO
+	}
+	r := 4 * base
+	if min := 20 * simtime.Microsecond; r < min {
+		r = min
+	}
+	return r
+}
+
+// pktKind discriminates wire packet types.
+type pktKind uint8
+
+const (
+	pktData pktKind = iota
+	pktAck
+	pktNack
+	pktPull
+)
+
+// packet is one unit on the wire. Control packets (ack/nack/pull) are
+// header-sized and travel through the same ports as data but in the
+// priority queue, mirroring htsim's control-priority behaviour.
+type packet struct {
+	flow    *flow
+	kind    pktKind
+	seq     int
+	wire    int64 // bytes on the wire
+	payload int64 // payload bytes carried (data only)
+	ecn     bool
+	trimmed bool
+	path    []int
+	hop     int
+	sent    simtime.Time // data: transmit time (echoed by ack for RTT)
+}
+
+// port is the egress queue of one unidirectional link.
+type port struct {
+	net   *Network
+	link  topo.Link
+	q     []*packet // data FIFO
+	hq    []*packet // priority queue: control + trimmed headers
+	bytes int64     // queued data bytes (for capacity & ECN)
+	busy  bool
+	kmin  int64
+	kmax  int64
+	rng   *xrand.RNG
+}
+
+// enqueue places p on the port, applying capacity, trimming and ECN rules.
+func (pt *port) enqueue(p *packet) {
+	if p.kind != pktData || p.trimmed {
+		// control and already-trimmed packets are never dropped
+		pt.hq = append(pt.hq, p)
+		pt.kick()
+		return
+	}
+	if pt.bytes+p.wire > pt.link.BufBytes {
+		if pt.net.ndp {
+			// NDP: trim payload, forward header in priority queue
+			p.trimmed = true
+			p.wire = pt.net.cfg.Header
+			p.payload = 0
+			pt.net.Stats.Trims++
+			pt.hq = append(pt.hq, p)
+			pt.kick()
+			return
+		}
+		pt.net.Stats.Drops++
+		return
+	}
+	// RED-style ECN marking between kmin and kmax
+	switch {
+	case pt.bytes <= pt.kmin:
+	case pt.bytes >= pt.kmax:
+		p.ecn = true
+	default:
+		frac := float64(pt.bytes-pt.kmin) / float64(pt.kmax-pt.kmin)
+		if pt.rng.Bool(frac) {
+			p.ecn = true
+		}
+	}
+	pt.bytes += p.wire
+	pt.q = append(pt.q, p)
+	pt.kick()
+}
+
+// kick starts transmitting the next packet if the line is idle.
+func (pt *port) kick() {
+	if pt.busy {
+		return
+	}
+	var p *packet
+	if len(pt.hq) > 0 {
+		p = pt.hq[0]
+		copy(pt.hq, pt.hq[1:])
+		pt.hq = pt.hq[:len(pt.hq)-1]
+	} else if len(pt.q) > 0 {
+		p = pt.q[0]
+		copy(pt.q, pt.q[1:])
+		pt.q = pt.q[:len(pt.q)-1]
+		pt.bytes -= p.wire
+	} else {
+		return
+	}
+	pt.busy = true
+	ser := simtime.Duration(p.wire) * pt.link.PsPerByte
+	pt.net.eng.After(ser, func() {
+		pt.busy = false
+		// propagation to the next device
+		pt.net.eng.After(pt.link.Latency, func() {
+			pt.net.arrive(p)
+		})
+		pt.kick()
+	})
+}
+
+// arrive handles a packet reaching the device at the end of its current
+// link: forward to the next hop or deliver to the endpoint.
+func (n *Network) arrive(p *packet) {
+	if p.hop < len(p.path) {
+		next := p.path[p.hop]
+		p.hop++
+		n.ports[next].enqueue(p)
+		return
+	}
+	switch p.kind {
+	case pktData:
+		n.hosts[p.flow.dst].onData(p)
+	case pktAck:
+		p.flow.onAck(p)
+	case pktNack:
+		p.flow.onNack(p)
+	case pktPull:
+		p.flow.onPull()
+	}
+}
+
+// inject starts a packet from a host along a freshly selected path.
+// fromHost is the host rank the packet leaves.
+func (n *Network) inject(fromHost, toHost int, p *packet, pathChoice uint64) {
+	paths := n.topo.Paths(fromHost, toHost)
+	if len(paths) == 0 {
+		panic(fmt.Sprintf("pktnet: no path %d->%d", fromHost, toHost))
+	}
+	idx := n.cfg.Selector.Pick(len(paths), p.flow.id, pathChoice)
+	p.path = paths[idx]
+	p.hop = 1
+	if p.kind == pktData {
+		n.Stats.PktsSent++
+	} else {
+		n.Stats.CtrlPkts++
+	}
+	n.ports[p.path[0]].enqueue(p)
+}

@@ -1,0 +1,241 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"atlahs/internal/backend"
+	"atlahs/internal/engine"
+	"atlahs/internal/goal"
+	"atlahs/internal/sched"
+	"atlahs/internal/xrand"
+)
+
+// ring builds an n-rank neighbour ring schedule.
+func ring(n int, size int64) *goal.Schedule {
+	b := goal.NewBuilder(n)
+	for r := 0; r < n; r++ {
+		rb := b.Rank(r)
+		rb.Send(size, (r+1)%n, 5)
+		rb.Recv(size, (r+n-1)%n, 5)
+	}
+	return b.MustBuild()
+}
+
+func TestPackedMapping(t *testing.T) {
+	m := PackedMapping(4, 10)
+	for i, nd := range m {
+		if nd != 10+i {
+			t.Fatalf("m[%d]=%d", i, nd)
+		}
+	}
+}
+
+func TestSplitClusterPacked(t *testing.T) {
+	sets, err := SplitCluster(16, []int{4, 8}, Packed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 || len(sets[0]) != 4 || len(sets[1]) != 8 {
+		t.Fatalf("sets=%v", sets)
+	}
+	if sets[0][0] != 0 || sets[0][3] != 3 || sets[1][0] != 4 {
+		t.Fatalf("packed not contiguous: %v", sets)
+	}
+}
+
+func TestSplitClusterRandomDeterministic(t *testing.T) {
+	a, err := SplitCluster(32, []int{8, 8}, RandomStrat, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := SplitCluster(32, []int{8, 8}, RandomStrat, 99)
+	for j := range a {
+		for i := range a[j] {
+			if a[j][i] != b[j][i] {
+				t.Fatal("random split not deterministic for fixed seed")
+			}
+		}
+	}
+	c, _ := SplitCluster(32, []int{8, 8}, RandomStrat, 100)
+	same := true
+	for j := range a {
+		for i := range a[j] {
+			if a[j][i] != c[j][i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical split")
+	}
+}
+
+func TestSplitClusterRoundRobin(t *testing.T) {
+	sets, err := SplitCluster(8, []int{2, 2}, RoundRobin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// two jobs: stripes 0,2,4,6 and 1,3,5,7
+	if sets[0][0] != 0 || sets[0][1] != 2 || sets[1][0] != 1 || sets[1][1] != 3 {
+		t.Fatalf("roundrobin stripes wrong: %v", sets)
+	}
+}
+
+func TestSplitClusterErrors(t *testing.T) {
+	if _, err := SplitCluster(4, []int{3, 3}, Packed, 0); err == nil {
+		t.Fatal("oversubscribed cluster accepted")
+	}
+	if _, err := SplitCluster(4, []int{0}, Packed, 0); err == nil {
+		t.Fatal("zero-size job accepted")
+	}
+	if _, err := SplitCluster(4, []int{2}, Strategy(99), 0); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestRemapPreservesSemantics(t *testing.T) {
+	s := ring(4, 1024)
+	// reverse mapping onto 8 nodes
+	mapped, err := Remap(s, []int{7, 5, 3, 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped.NumRanks() != 8 {
+		t.Fatalf("ranks=%d", mapped.NumRanks())
+	}
+	if err := mapped.CheckMatched(); err != nil {
+		t.Fatal(err)
+	}
+	// node 7 must send to node 5 (rank0 -> rank1)
+	found := false
+	for i := range mapped.Ranks[7].Ops {
+		op := mapped.Ranks[7].Ops[i]
+		if op.Kind == goal.KindSend && op.Peer == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("peer remap wrong")
+	}
+	// runtime identical to the unmapped schedule on a topology-oblivious backend
+	r1, err := sched.Run(engine.New(), s, backend.NewLGS(backend.AIParams()), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sched.Run(engine.New(), mapped, backend.NewLGS(backend.AIParams()), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Runtime != r2.Runtime {
+		t.Fatalf("LGS runtime changed by remap: %v vs %v", r1.Runtime, r2.Runtime)
+	}
+}
+
+func TestMergeDisjointJobs(t *testing.T) {
+	a, b := ring(4, 1024), ring(4, 2048)
+	merged, err := Merge(8, Job{a, PackedMapping(4, 0)}, Job{b, PackedMapping(4, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.CheckMatched(); err != nil {
+		t.Fatal(err)
+	}
+	st := merged.ComputeStats()
+	if st.Sends != 8 || st.SendBytes != 4*1024+4*2048 {
+		t.Fatalf("merged stats %+v", st)
+	}
+	if _, err := sched.Run(engine.New(), merged, backend.NewLGS(backend.AIParams()), sched.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeMultiTenantSharedNodes(t *testing.T) {
+	// two jobs on the SAME 4 nodes: streams must not collide, tags must
+	// not cross-match
+	a, b := ring(4, 1024), ring(4, 4096)
+	merged, err := Merge(4, Job{a, PackedMapping(4, 0)}, Job{b, PackedMapping(4, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.CheckMatched(); err != nil {
+		t.Fatal(err)
+	}
+	// job 1 ops must be on different streams than job 0 ops
+	cpu0 := merged.Ranks[0].Ops[0].CPU
+	cpu1 := merged.Ranks[0].Ops[2].CPU // job 1's first op on node 0
+	if cpu0 == cpu1 {
+		t.Fatal("stream collision between tenants")
+	}
+	// both rings complete
+	res, err := sched.Run(engine.New(), merged, backend.NewLGS(backend.AIParams()), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != int64(merged.ComputeStats().Ops) {
+		t.Fatal("not all tenant ops executed")
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	a := ring(4, 64)
+	if _, err := Merge(2, Job{a, PackedMapping(4, 0)}); err == nil {
+		t.Fatal("node out of range accepted")
+	}
+	if _, err := Merge(8, Job{a, []int{0, 0, 1, 2}}); err == nil {
+		t.Fatal("duplicate node within job accepted")
+	}
+	if _, err := Merge(8, Job{a, []int{0, 1}}); err == nil {
+		t.Fatal("mapping length mismatch accepted")
+	}
+	if _, err := Merge(8); err == nil {
+		t.Fatal("no jobs accepted")
+	}
+	if _, err := Merge(0, Job{a, PackedMapping(4, 0)}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := Merge(8, Job{nil, nil}); err == nil {
+		t.Fatal("nil schedule accepted")
+	}
+}
+
+// Property: merging random jobs preserves op counts and matching, and the
+// merged schedule always runs to completion.
+func TestMergeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		nnodes := rng.Intn(12) + 4
+		njobs := rng.Intn(3) + 1
+		jobs := make([]Job, 0, njobs)
+		var wantOps int64
+		for j := 0; j < njobs; j++ {
+			n := rng.Intn(nnodes-1) + 2
+			s := ring(n, rng.Int63n(4096)+1)
+			wantOps += int64(s.ComputeStats().Ops)
+			// random distinct nodes
+			perm := rng.Perm(nnodes)[:n]
+			jobs = append(jobs, Job{s, perm})
+		}
+		merged, err := Merge(nnodes, jobs...)
+		if err != nil {
+			return false
+		}
+		if merged.CheckMatched() != nil {
+			return false
+		}
+		res, err := sched.Run(engine.New(), merged, backend.NewLGS(backend.AIParams()), sched.Options{})
+		if err != nil {
+			return false
+		}
+		return res.Ops == wantOps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Packed.String() != "packed" || RandomStrat.String() != "random" || RoundRobin.String() != "roundrobin" {
+		t.Fatal("strategy names wrong")
+	}
+}

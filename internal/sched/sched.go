@@ -1,0 +1,197 @@
+// Package sched implements the GOAL scheduler: it walks every rank's task
+// DAG, issues operations to an ATLAHS backend as their dependencies
+// resolve, and collects completion times. It is the "Workload Simulation
+// Pipeline" box of the paper's Fig 7: the scheduler owns GOAL progress,
+// the backend owns the clock and the network model.
+//
+// Dependency semantics: an op becomes eligible once all its `requires`
+// dependencies have completed and all its `irequires` dependencies have
+// started (approximated as: have been issued to the backend). Compute
+// stream serialisation is the backend's responsibility, since stream
+// occupancy depends on the backend's cost model.
+package sched
+
+import (
+	"fmt"
+
+	"atlahs/internal/core"
+	"atlahs/internal/engine"
+	"atlahs/internal/goal"
+	"atlahs/internal/simtime"
+)
+
+// Options tunes a simulation run.
+type Options struct {
+	// CalcScale multiplies every calc duration (hardware adaptation factor,
+	// paper §7). 0 means 1.0.
+	CalcScale float64
+}
+
+// Result summarises a completed simulation.
+type Result struct {
+	// Runtime is the completion time of the last op in the schedule.
+	Runtime simtime.Duration
+	// RankEnd is the completion time of each rank's last op.
+	RankEnd []simtime.Time
+	// Ops is the number of executed GOAL ops.
+	Ops int64
+	// Events is the number of engine events processed.
+	Events uint64
+}
+
+type rankState struct {
+	needComplete []int32 // outstanding `requires` per op
+	needStart    []int32 // outstanding `irequires` per op
+	reqSucc      [][]int32
+	ireqSucc     [][]int32
+	issued       []bool
+	completed    []bool
+}
+
+type runner struct {
+	eng   *engine.Engine
+	s     *goal.Schedule
+	be    core.Backend
+	scale float64
+	ranks []rankState
+	done  int64
+	total int64
+	end   []simtime.Time
+}
+
+// Run simulates schedule s on backend be using eng. It returns an error if
+// the schedule deadlocks (events drained with ops still pending), which
+// indicates an invalid schedule (e.g. unmatched sends/recvs).
+func Run(eng *engine.Engine, s *goal.Schedule, be core.Backend, opts Options) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	scale := opts.CalcScale
+	if scale == 0 {
+		scale = 1
+	}
+	r := &runner{
+		eng:   eng,
+		s:     s,
+		be:    be,
+		scale: scale,
+		ranks: make([]rankState, s.NumRanks()),
+		end:   make([]simtime.Time, s.NumRanks()),
+	}
+	if err := be.Setup(s.NumRanks(), eng, r.over); err != nil {
+		return nil, err
+	}
+	for rank := range s.Ranks {
+		rp := &s.Ranks[rank]
+		st := &r.ranks[rank]
+		n := len(rp.Ops)
+		st.needComplete = make([]int32, n)
+		st.needStart = make([]int32, n)
+		st.reqSucc = make([][]int32, n)
+		st.ireqSucc = make([][]int32, n)
+		st.issued = make([]bool, n)
+		st.completed = make([]bool, n)
+		for i := 0; i < n; i++ {
+			st.needComplete[i] = int32(len(rp.Requires[i]))
+			st.needStart[i] = int32(len(rp.IRequires[i]))
+			for _, d := range rp.Requires[i] {
+				st.reqSucc[d] = append(st.reqSucc[d], int32(i))
+			}
+			for _, d := range rp.IRequires[i] {
+				st.ireqSucc[d] = append(st.ireqSucc[d], int32(i))
+			}
+		}
+		r.total += int64(n)
+	}
+	// seed: issue all ops with no dependencies
+	for rank := range s.Ranks {
+		st := &r.ranks[rank]
+		for i := range s.Ranks[rank].Ops {
+			// an earlier seed issue may have already cascaded here via an
+			// irequires edge
+			if st.needComplete[i] == 0 && st.needStart[i] == 0 && !st.issued[i] {
+				r.issue(rank, int32(i))
+			}
+		}
+	}
+	eng.Run()
+	if r.done != r.total {
+		return nil, r.deadlockError()
+	}
+	res := &Result{RankEnd: r.end, Ops: r.done, Events: eng.Processed}
+	for _, t := range r.end {
+		if d := simtime.Duration(t); d > res.Runtime {
+			res.Runtime = d
+		}
+	}
+	return res, nil
+}
+
+func (r *runner) issue(rank int, op int32) {
+	st := &r.ranks[rank]
+	if st.issued[op] {
+		panic(fmt.Sprintf("sched: double issue of rank %d op %d", rank, op))
+	}
+	st.issued[op] = true
+	// notify irequires successors: the op has started
+	for _, succ := range st.ireqSucc[op] {
+		st.needStart[succ]--
+		if st.needStart[succ] == 0 && st.needComplete[succ] == 0 && !st.issued[succ] {
+			r.issue(rank, succ)
+		}
+	}
+	o := &r.s.Ranks[rank].Ops[op]
+	h := core.MakeHandle(rank, op)
+	switch o.Kind {
+	case goal.KindCalc:
+		r.be.Calc(core.CalcEvent{Handle: h, Rank: rank, CPU: o.CPU, Duration: o.CalcDuration(r.scale)})
+	case goal.KindSend:
+		r.be.Send(core.SendEvent{Handle: h, Src: rank, Dst: int(o.Peer), Size: o.Size, Tag: o.Tag, CPU: o.CPU})
+	case goal.KindRecv:
+		r.be.Recv(core.RecvEvent{Handle: h, Dst: rank, Src: int(o.Peer), Size: o.Size, Tag: o.Tag, CPU: o.CPU})
+	}
+}
+
+// over is the backend completion callback (eventOver in the paper).
+func (r *runner) over(h core.Handle, at simtime.Time) {
+	rank, op := h.Rank(), h.Op()
+	st := &r.ranks[rank]
+	if st.completed[op] {
+		panic(fmt.Sprintf("sched: double completion of rank %d op %d", rank, op))
+	}
+	st.completed[op] = true
+	r.done++
+	if at > r.end[rank] {
+		r.end[rank] = at
+	}
+	for _, succ := range st.reqSucc[op] {
+		st.needComplete[succ]--
+		if st.needComplete[succ] == 0 && st.needStart[succ] == 0 && !st.issued[succ] {
+			r.issue(rank, succ)
+		}
+	}
+}
+
+func (r *runner) deadlockError() error {
+	var firstRank, issuedNotDone, neverIssued int
+	firstRank = -1
+	for rank := range r.ranks {
+		st := &r.ranks[rank]
+		for i := range st.issued {
+			switch {
+			case st.issued[i] && !st.completed[i]:
+				issuedNotDone++
+				if firstRank < 0 {
+					firstRank = rank
+				}
+			case !st.issued[i]:
+				neverIssued++
+				if firstRank < 0 {
+					firstRank = rank
+				}
+			}
+		}
+	}
+	return fmt.Errorf("sched: deadlock after %d/%d ops: %d issued-but-incomplete (likely unmatched sends/recvs), %d blocked on dependencies; first stuck rank %d",
+		r.done, r.total, issuedNotDone, neverIssued, firstRank)
+}

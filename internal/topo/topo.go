@@ -1,0 +1,321 @@
+// Package topo models the physical network topologies used by the
+// packet-level and fluid backends: two- and three-level fat trees with
+// configurable oversubscription (the paper's validation and case studies
+// use two-level fat trees at 1:1, 4:1 and 8:1 ToR:Core ratios) and a
+// dragonfly for the Alps-cluster flavour.
+//
+// A topology is a directed graph of devices (hosts and switches) connected
+// by unidirectional links; every full-duplex cable is two Links. Routing is
+// precomputed: Paths(src, dst) enumerates all shortest paths as link-index
+// sequences, and an ECMP selector picks among them by flow hash or
+// per-packet spraying.
+package topo
+
+import (
+	"fmt"
+
+	"atlahs/internal/simtime"
+	"atlahs/internal/xrand"
+)
+
+// DeviceKind distinguishes hosts from switches.
+type DeviceKind uint8
+
+// Device kinds.
+const (
+	Host DeviceKind = iota
+	Switch
+)
+
+// Device is a node in the topology graph.
+type Device struct {
+	ID   int
+	Kind DeviceKind
+	Name string
+}
+
+// Link is a unidirectional connection between two devices. Bytes take
+// PsPerByte picoseconds each to serialise plus Latency propagation delay.
+type Link struct {
+	ID        int
+	From, To  int // device IDs
+	Latency   simtime.Duration
+	PsPerByte simtime.Duration
+	// Egress queue capacity in bytes at the From device for this link.
+	BufBytes int64
+}
+
+// Bandwidth parameters shared by topology constructors.
+type LinkSpec struct {
+	Latency   simtime.Duration
+	PsPerByte simtime.Duration
+	BufBytes  int64
+}
+
+// Topology is an immutable network graph with precomputed shortest paths
+// between all host pairs.
+type Topology struct {
+	Name     string
+	Devices  []Device
+	Links    []Link
+	HostIDs  []int // device IDs of hosts, indexed by host rank
+	adjOut   [][]int
+	pathsMem map[[2]int][][]int
+}
+
+// NumHosts returns the number of host endpoints.
+func (t *Topology) NumHosts() int { return len(t.HostIDs) }
+
+// HostDevice returns the device ID of host index h.
+func (t *Topology) HostDevice(h int) int { return t.HostIDs[h] }
+
+func (t *Topology) addDevice(kind DeviceKind, name string) int {
+	id := len(t.Devices)
+	t.Devices = append(t.Devices, Device{ID: id, Kind: kind, Name: name})
+	t.adjOut = append(t.adjOut, nil)
+	if kind == Host {
+		t.HostIDs = append(t.HostIDs, id)
+	}
+	return id
+}
+
+func (t *Topology) addDuplex(a, b int, spec LinkSpec) {
+	t.addLink(a, b, spec)
+	t.addLink(b, a, spec)
+}
+
+func (t *Topology) addLink(from, to int, spec LinkSpec) {
+	id := len(t.Links)
+	t.Links = append(t.Links, Link{
+		ID: id, From: from, To: to,
+		Latency: spec.Latency, PsPerByte: spec.PsPerByte, BufBytes: spec.BufBytes,
+	})
+	t.adjOut[from] = append(t.adjOut[from], id)
+}
+
+// OutLinks returns the IDs of links leaving device d.
+func (t *Topology) OutLinks(d int) []int { return t.adjOut[d] }
+
+// Paths returns every shortest path from host src to host dst as a slice
+// of link IDs. Results are memoised. src == dst yields nil.
+func (t *Topology) Paths(src, dst int) [][]int {
+	if src == dst {
+		return nil
+	}
+	key := [2]int{src, dst}
+	if p, ok := t.pathsMem[key]; ok {
+		return p
+	}
+	if t.pathsMem == nil {
+		t.pathsMem = map[[2]int][][]int{}
+	}
+	p := t.computePaths(t.HostIDs[src], t.HostIDs[dst])
+	t.pathsMem[key] = p
+	return p
+}
+
+// computePaths runs BFS from srcDev and enumerates all shortest link paths
+// to dstDev.
+func (t *Topology) computePaths(srcDev, dstDev int) [][]int {
+	n := len(t.Devices)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[srcDev] = 0
+	queue := []int{srcDev}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == dstDev {
+			continue
+		}
+		for _, lid := range t.adjOut[v] {
+			w := t.Links[lid].To
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	if dist[dstDev] == -1 {
+		return nil
+	}
+	// Backtrack all shortest paths via DFS along dist-decreasing edges.
+	var paths [][]int
+	var cur []int
+	var dfs func(dev int)
+	dfs = func(dev int) {
+		if dev == dstDev {
+			path := make([]int, len(cur))
+			copy(path, cur)
+			paths = append(paths, path)
+			return
+		}
+		for _, lid := range t.adjOut[dev] {
+			w := t.Links[lid].To
+			if dist[w] == dist[dev]+1 && dist[w] <= dist[dstDev] {
+				cur = append(cur, lid)
+				dfs(w)
+				cur = cur[:len(cur)-1]
+			}
+		}
+	}
+	dfs(srcDev)
+	return paths
+}
+
+// PathSelector picks one of the shortest paths for a packet.
+type PathSelector interface {
+	// Pick returns an index into the paths slice for a packet of the given
+	// flow and sequence number.
+	Pick(npaths int, flowID uint64, pktSeq uint64) int
+}
+
+// FlowHashECMP pins every packet of a flow to the same path (standard
+// ECMP 5-tuple hashing).
+type FlowHashECMP struct{}
+
+// Pick implements PathSelector.
+func (FlowHashECMP) Pick(npaths int, flowID uint64, _ uint64) int {
+	if npaths <= 1 {
+		return 0
+	}
+	return int(xrand.Hash64(flowID) % uint64(npaths))
+}
+
+// PacketSpray spreads consecutive packets of a flow over all paths
+// (NDP-style per-packet load balancing).
+type PacketSpray struct{}
+
+// Pick implements PathSelector.
+func (PacketSpray) Pick(npaths int, flowID, pktSeq uint64) int {
+	if npaths <= 1 {
+		return 0
+	}
+	return int(xrand.Hash64(flowID^(pktSeq*0x9e3779b97f4a7c15)) % uint64(npaths))
+}
+
+// FatTreeConfig describes a two-level fat tree: Hosts are distributed over
+// ToR switches, ToRs connect to Core switches. Oversubscription is the
+// ratio of host-facing to core-facing ToR bandwidth, achieved by varying
+// the number of core uplinks.
+type FatTreeConfig struct {
+	Hosts       int
+	HostsPerToR int
+	Cores       int // number of core switches (= uplinks per ToR)
+	HostLink    LinkSpec
+	UplinkLink  LinkSpec // ToR<->Core links
+	Name        string
+}
+
+// NewFatTree builds the two-level fat tree. Every ToR connects to every
+// core switch, so with HostsPerToR hosts and Cores uplinks of equal speed
+// the oversubscription ratio is HostsPerToR:Cores.
+func NewFatTree(cfg FatTreeConfig) (*Topology, error) {
+	if cfg.Hosts <= 0 || cfg.HostsPerToR <= 0 || cfg.Cores <= 0 {
+		return nil, fmt.Errorf("topo: fat tree needs positive hosts, hostsPerToR, cores")
+	}
+	if cfg.Hosts%cfg.HostsPerToR != 0 {
+		return nil, fmt.Errorf("topo: %d hosts not divisible by %d hosts/ToR", cfg.Hosts, cfg.HostsPerToR)
+	}
+	nToR := cfg.Hosts / cfg.HostsPerToR
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("fattree-%dh-%dtor-%dcore", cfg.Hosts, nToR, cfg.Cores)
+	}
+	t := &Topology{Name: name}
+	hosts := make([]int, cfg.Hosts)
+	for i := range hosts {
+		hosts[i] = t.addDevice(Host, fmt.Sprintf("h%d", i))
+	}
+	tors := make([]int, nToR)
+	for i := range tors {
+		tors[i] = t.addDevice(Switch, fmt.Sprintf("tor%d", i))
+	}
+	cores := make([]int, cfg.Cores)
+	for i := range cores {
+		cores[i] = t.addDevice(Switch, fmt.Sprintf("core%d", i))
+	}
+	for i, h := range hosts {
+		t.addDuplex(h, tors[i/cfg.HostsPerToR], cfg.HostLink)
+	}
+	for _, tor := range tors {
+		for _, core := range cores {
+			t.addDuplex(tor, core, cfg.UplinkLink)
+		}
+	}
+	return t, nil
+}
+
+// Oversubscription returns the ToR host:core bandwidth ratio of a fat tree
+// built with NewFatTree (informational).
+func (cfg FatTreeConfig) Oversubscription() float64 {
+	down := float64(cfg.HostsPerToR) / float64(cfg.HostLink.PsPerByte)
+	up := float64(cfg.Cores) / float64(cfg.UplinkLink.PsPerByte)
+	return down / up
+}
+
+// DragonflyConfig describes a canonical dragonfly: G groups of A routers,
+// each router with P hosts; routers within a group are fully connected and
+// each router has H global links. We use the balanced a=2h, g=a*h+1 layout
+// when fields are zero.
+type DragonflyConfig struct {
+	Groups        int
+	RoutersPerGrp int
+	HostsPerRtr   int
+	HostLink      LinkSpec
+	LocalLink     LinkSpec
+	GlobalLink    LinkSpec
+}
+
+// NewDragonfly builds a dragonfly topology. Global links are distributed
+// round-robin: router a in group g connects to groups in a balanced
+// all-to-all pattern so every group pair has at least one global link when
+// RoutersPerGrp*perRtrGlobal >= Groups-1.
+func NewDragonfly(cfg DragonflyConfig) (*Topology, error) {
+	if cfg.Groups < 2 || cfg.RoutersPerGrp < 1 || cfg.HostsPerRtr < 1 {
+		return nil, fmt.Errorf("topo: dragonfly needs >=2 groups, >=1 router/group, >=1 host/router")
+	}
+	t := &Topology{Name: fmt.Sprintf("dragonfly-%dg-%dr-%dh", cfg.Groups, cfg.RoutersPerGrp, cfg.HostsPerRtr)}
+	routers := make([][]int, cfg.Groups)
+	for g := 0; g < cfg.Groups; g++ {
+		routers[g] = make([]int, cfg.RoutersPerGrp)
+		for a := 0; a < cfg.RoutersPerGrp; a++ {
+			routers[g][a] = t.addDevice(Switch, fmt.Sprintf("r%d.%d", g, a))
+		}
+	}
+	for g := 0; g < cfg.Groups; g++ {
+		for a := 0; a < cfg.RoutersPerGrp; a++ {
+			for i := 0; i < cfg.HostsPerRtr; i++ {
+				h := t.addDevice(Host, fmt.Sprintf("h%d.%d.%d", g, a, i))
+				t.addDuplex(h, routers[g][a], cfg.HostLink)
+			}
+			// local all-to-all within group
+			for b := a + 1; b < cfg.RoutersPerGrp; b++ {
+				t.addDuplex(routers[g][a], routers[g][b], cfg.LocalLink)
+			}
+		}
+	}
+	// global links: group pair (g1, g2) connected via router (g2-1) mod A in
+	// g1 and router g1 mod A in g2 — a standard balanced assignment.
+	for g1 := 0; g1 < cfg.Groups; g1++ {
+		for g2 := g1 + 1; g2 < cfg.Groups; g2++ {
+			a1 := (g2 - 1) % cfg.RoutersPerGrp
+			a2 := g1 % cfg.RoutersPerGrp
+			t.addDuplex(routers[g1][a1], routers[g2][a2], cfg.GlobalLink)
+		}
+	}
+	return t, nil
+}
+
+// DefaultLinkSpec returns the link parameters used throughout the paper's
+// experiments: 200 Gb/s (25 GB/s, G = 40 ps/B), 500 ns propagation, 1 MiB
+// port buffers (paper §5.1).
+func DefaultLinkSpec() LinkSpec {
+	return LinkSpec{
+		Latency:   500 * simtime.Nanosecond,
+		PsPerByte: 40 * simtime.Picosecond,
+		BufBytes:  1 << 20,
+	}
+}

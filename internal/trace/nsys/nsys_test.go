@@ -1,0 +1,118 @@
+package nsys
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		NGPUs: 4,
+		Comms: map[string][]int{
+			"world": {0, 1, 2, 3},
+			"pp":    {0, 2},
+		},
+		Records: []Record{
+			{GPU: 0, Stream: 7, Kind: KindKernel, Name: "gemm", StartNs: 0, EndNs: 1000},
+			{GPU: 0, Stream: 7, Kind: KindNCCL, Coll: CollAllReduce, Bytes: 1 << 20, Comm: "world", StartNs: 1000, EndNs: 3000},
+			{GPU: 1, Stream: 7, Kind: KindNCCL, Coll: CollAllReduce, Bytes: 1 << 20, Comm: "world", StartNs: 900, EndNs: 3100},
+			{GPU: 2, Stream: 7, Kind: KindNCCL, Coll: CollAllReduce, Bytes: 1 << 20, Comm: "world", StartNs: 950, EndNs: 3000},
+			{GPU: 3, Stream: 7, Kind: KindNCCL, Coll: CollAllReduce, Bytes: 1 << 20, Comm: "world", StartNs: 1100, EndNs: 3050},
+			{GPU: 0, Stream: 9, Kind: KindNCCL, Coll: CollSend, Bytes: 4096, Comm: "pp", Peer: 1, StartNs: 500, EndNs: 600},
+			{GPU: 2, Stream: 9, Kind: KindNCCL, Coll: CollRecv, Bytes: 4096, Comm: "pp", Peer: 0, StartNs: 500, EndNs: 700},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sampleReport().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	r := sampleReport()
+	r.Records[0].GPU = 99
+	if r.Validate() == nil {
+		t.Fatal("bad GPU accepted")
+	}
+	r = sampleReport()
+	r.Records[1].Comm = "nosuch"
+	if r.Validate() == nil {
+		t.Fatal("unknown comm accepted")
+	}
+	r = sampleReport()
+	r.Records[1].Coll = "frobnicate"
+	if r.Validate() == nil {
+		t.Fatal("unknown collective accepted")
+	}
+	r = sampleReport()
+	r.Records[5].Peer = 9
+	if r.Validate() == nil {
+		t.Fatal("bad peer accepted")
+	}
+	r = sampleReport()
+	r.Records[0].EndNs = -5
+	if r.Validate() == nil {
+		t.Fatal("end<start accepted")
+	}
+	r = sampleReport()
+	r.Comms["bad"] = []int{0, 0}
+	if r.Validate() == nil {
+		t.Fatal("duplicate comm member accepted")
+	}
+	r = sampleReport()
+	// nccl record on a GPU outside its communicator
+	r.Records[5].GPU = 1
+	if r.Validate() == nil {
+		t.Fatal("non-member nccl record accepted")
+	}
+}
+
+func TestStreamHelpers(t *testing.T) {
+	r := sampleReport()
+	if got := r.Streams(0); len(got) != 2 || got[0] != 7 || got[1] != 9 {
+		t.Fatalf("Streams(0)=%v", got)
+	}
+	recs := r.StreamRecords(0, 7)
+	if len(recs) != 2 || recs[0].Kind != KindKernel || recs[1].Coll != CollAllReduce {
+		t.Fatalf("StreamRecords(0,7)=%+v", recs)
+	}
+	// sorted by start
+	if recs[0].StartNs > recs[1].StartNs {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	n, err := r.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo returned %d, buffer has %d", n, buf.Len())
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NGPUs != r.NGPUs || !reflect.DeepEqual(got.Comms, r.Comms) || !reflect.DeepEqual(got.Records, r.Records) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Parse(strings.NewReader(`{"format":"other","ngpus":1}`)); err == nil {
+		t.Fatal("wrong format accepted")
+	}
+	if _, err := Parse(strings.NewReader(`{"format":"atlahs-nsys-v1","ngpus":1}` + "\nnot json")); err == nil {
+		t.Fatal("garbage record accepted")
+	}
+}

@@ -1,0 +1,100 @@
+// Package micro generates the synthetic microbenchmarks networking papers
+// conventionally evaluate with (incast, permutation; paper §1 and Fig 1C).
+// ATLAHS argues these under-represent real workloads — the Fig 1C
+// experiment contrasts them against replayed LLM training traffic, so the
+// toolchain ships both.
+package micro
+
+import (
+	"atlahs/internal/goal"
+	"atlahs/internal/xrand"
+)
+
+// Incast builds a schedule where fanin senders each transmit bytes to rank
+// 0 simultaneously (the canonical congestion microbenchmark).
+func Incast(n, fanin int, bytes int64) *goal.Schedule {
+	if fanin >= n {
+		fanin = n - 1
+	}
+	b := goal.NewBuilder(n)
+	for s := 1; s <= fanin; s++ {
+		b.Rank(s).Send(bytes, 0, int32(s))
+		b.Rank(0).Recv(bytes, s, int32(s))
+	}
+	return b.MustBuild()
+}
+
+// Permutation builds a random one-to-one traffic pattern: every rank sends
+// bytes to a unique destination (a seeded derangement).
+func Permutation(n int, bytes int64, seed uint64) *goal.Schedule {
+	rng := xrand.New(seed)
+	perm := rng.Perm(n)
+	// make it a derangement so nobody sends to itself
+	for i := 0; i < n; i++ {
+		if perm[i] == i {
+			j := (i + 1) % n
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	b := goal.NewBuilder(n)
+	for src, dst := range perm {
+		b.Rank(src).Send(bytes, dst, 0)
+		b.Rank(dst).Recv(bytes, src, 0)
+	}
+	return b.MustBuild()
+}
+
+// Ring builds a neighbour ring: rank i sends to i+1 and receives from i-1.
+func Ring(n int, bytes int64) *goal.Schedule {
+	b := goal.NewBuilder(n)
+	for r := 0; r < n; r++ {
+		b.Rank(r).Send(bytes, (r+1)%n, 0)
+		b.Rank(r).Recv(bytes, (r+n-1)%n, 0)
+	}
+	return b.MustBuild()
+}
+
+// AllToAll builds a full exchange: every rank sends bytes to every other
+// rank, all flows released at once.
+func AllToAll(n int, bytes int64) *goal.Schedule {
+	b := goal.NewBuilder(n)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			b.Rank(src).Send(bytes, dst, int32(src))
+			b.Rank(dst).Recv(bytes, src, int32(src))
+		}
+	}
+	return b.MustBuild()
+}
+
+// UniformRandom builds msgs random point-to-point messages with
+// exponential think time between a rank's consecutive sends.
+func UniformRandom(n, msgs int, bytes int64, seed uint64) *goal.Schedule {
+	rng := xrand.New(seed)
+	b := goal.NewBuilder(n)
+	heads := make([]goal.OpID, n)
+	for i := range heads {
+		heads[i] = -1
+	}
+	for m := 0; m < msgs; m++ {
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		tag := int32(m)
+		rb := b.Rank(src)
+		gap := rb.Calc(rng.Int63n(10_000))
+		if heads[src] >= 0 {
+			rb.Requires(gap, heads[src])
+		}
+		s := rb.Send(bytes, dst, tag)
+		rb.Requires(s, gap)
+		heads[src] = s
+		b.Rank(dst).Recv(bytes, src, tag)
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,163 @@
+// Package xrand provides the deterministic random-number generation used by
+// every stochastic component of ATLAHS (workload generators, ECN marking,
+// ECMP hashing, placement shuffles).
+//
+// A single splitmix64-based generator with an explicit seed keeps runs
+// reproducible: the same seed always yields the same trace, the same
+// simulation and therefore the same experiment output. The stdlib
+// math/rand global source is deliberately not used anywhere.
+package xrand
+
+import "math"
+
+// RNG is a small, fast, seedable pseudo-random generator (splitmix64 for
+// stream derivation feeding an xoshiro256**-style core).
+type RNG struct {
+	s [4]uint64
+}
+
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Two generators with the same
+// seed produce identical streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	return r
+}
+
+// Split derives an independent child generator; handy for giving each
+// component (e.g. each switch port) its own stream without correlation.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xa3ec647659359acd)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	res := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return res
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n).
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Exp returns an exponentially distributed float64 with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Normal returns a normally distributed float64 (Box-Muller).
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return mean + stddev*math.Sqrt(-2*math.Log(u1))*math.Cos(2*math.Pi*u2)
+}
+
+// LogNormal returns exp(Normal(mu, sigma)).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Perm returns a random permutation of [0, n) (Fisher-Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Zipf samples from a bounded Zipf distribution over [0, n) with skew s>0
+// using inverse-CDF on the precomputed harmonic weights held in z.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent s.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next returns the next Zipf-distributed index in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Hash64 mixes x into a well-distributed 64-bit hash (used for stateless
+// deterministic choices such as ECMP path selection).
+func Hash64(x uint64) uint64 {
+	return splitmix64(&x)
+}

@@ -1,0 +1,169 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(124)
+	same := 0
+	a2 := New(123)
+	for i := 0; i < 1000; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/1000 times", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(99)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %.4f too far from 0.5", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(10)
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.2 {
+		t.Fatalf("exp mean %.3f, want ~10", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	sum, ss := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(5, 2)
+		sum += v
+		ss += v * v
+	}
+	mean := sum / n
+	variance := ss/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("normal mean %.3f, want ~5", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Fatalf("normal stddev %.3f, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n%100) + 1
+		p := New(seed).Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(11)
+	z := NewZipf(r, 100, 1.2)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// rank 0 must dominate rank 10, which must dominate rank 90
+	if !(counts[0] > counts[10] && counts[10] > counts[90]) {
+		t.Fatalf("zipf not skewed: c0=%d c10=%d c90=%d", counts[0], counts[10], counts[90])
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(42)
+	a := parent.Split()
+	b := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams correlate: %d/1000", same)
+	}
+}
+
+func TestHash64Distinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		h := Hash64(i)
+		if seen[h] {
+			t.Fatalf("Hash64 collision at %d", i)
+		}
+		seen[h] = true
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
