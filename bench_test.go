@@ -7,6 +7,7 @@ package atlahs
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"testing"
 
@@ -174,6 +175,74 @@ func BenchmarkAblationGoalEncodings(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- parallel simulation subsystem -------------------------------------------
+
+// BenchmarkParEngineVsSerial is the paired serial-vs-parallel measurement
+// for the sharded engine (paper §5's parallelised LogGOPSim): the same
+// multi-rank LGS workloads on the serial engine and on the parallel engine
+// at 1/2/4/8 workers. Results are bit-identical (see
+// TestParallelLGSMatchesSerial); only wall-clock should move. Two effects
+// stack: per-lane event queues are ~P times shallower than the serial
+// engine's single global heap (visible even on one core), and on
+// multi-core hosts the lanes execute concurrently inside each lookahead
+// window.
+func BenchmarkParEngineVsSerial(b *testing.B) {
+	for _, wl := range []struct {
+		name string
+		s    *goal.Schedule
+	}{
+		{"bsp-128x6", micro.BulkSynchronous(128, 6, 65536, 3000)},
+		{"alltoall-128", micro.AllToAll(128, 131072)},
+	} {
+		s := wl.s
+		ops := int64(s.ComputeStats().Ops)
+		run := func(b *testing.B, do func() (*sched.Result, error)) {
+			for i := 0; i < b.N; i++ {
+				res, err := do()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Ops != ops {
+					b.Fatal("incomplete run")
+				}
+			}
+		}
+		b.Run(wl.name+"/serial", func(b *testing.B) {
+			run(b, func() (*sched.Result, error) {
+				return sched.Run(engine.New(), s, backend.NewLGS(backend.AIParams()), sched.Options{})
+			})
+		})
+		for _, workers := range []int{1, 2, 4, 8} {
+			workers := workers
+			b.Run(fmt.Sprintf("%s/workers-%d", wl.name, workers), func(b *testing.B) {
+				// Construct the parallel engine directly: RunParallel would
+				// route workers=1 to the serial engine, and this pairing is
+				// about ParEngine behaviour at every worker count.
+				run(b, func() (*sched.Result, error) {
+					be := backend.NewLGS(backend.AIParams())
+					eng := engine.NewParallel(s.NumRanks(), workers, be.Lookahead())
+					return sched.Run(eng, s, be, sched.Options{})
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkExperimentSweepVsSerial measures the concurrent experiment
+// runner: the full quick-mode evaluation executed serially versus fanned
+// out across 4 workers (independent experiments and configuration points).
+func BenchmarkExperimentSweepVsSerial(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := experiments.RunAll(io.Discard, experiments.Quick, workers, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- substrate throughput -----------------------------------------------------

@@ -5,10 +5,14 @@
 //
 //	atlahs -goal sched.bin [-backend lgs|pkt|fluid] [-params ai|hpc]
 //	       [-hosts-per-tor 4] [-oversub 1] [-cc mprdma] [-seed 1]
+//	       [-workers 1]
 //
 // The GOAL file may be textual or binary (auto-detected). The lgs backend
 // is topology-oblivious; pkt and fluid build a two-level fat tree sized to
-// the schedule.
+// the schedule. -workers > 1 runs the lgs backend on the sharded parallel
+// engine (ranks spread across goroutines under the LogGOPS lookahead
+// window, results bit-identical to serial); pkt and fluid share fabric
+// state and always run serially.
 package main
 
 import (
@@ -35,6 +39,7 @@ func main() {
 	ccName := flag.String("cc", "mprdma", "congestion control (pkt): mprdma, swift, dctcp, ndp")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	calcScale := flag.Float64("calc-scale", 1.0, "hardware adaptation factor for calc times")
+	workers := flag.Int("workers", 1, "worker goroutines for the parallel engine (lgs only; 0 = GOMAXPROCS)")
 	flag.Parse()
 	if *goalPath == "" {
 		flag.Usage()
@@ -62,7 +67,7 @@ func main() {
 		}
 		b := backend.NewLGS(p)
 		bk = b
-		res, err := sched.Run(engine.New(), s, b, sched.Options{CalcScale: *calcScale})
+		res, err := sched.RunParallel(*workers, s, b, sched.Options{CalcScale: *calcScale})
 		runErr = err
 		if err == nil {
 			runtime = res.Runtime.String()

@@ -2,16 +2,21 @@
 //
 // Usage:
 //
-//	experiments [-mode quick|full] [fig1c table1 fig8 fig9 fig10 fig11 fig12 fig13 | all]
+//	experiments [-mode quick|full] [-workers N]
+//	            [fig1c table1 fig8 fig9 fig10 fig11 fig12 fig13 | all]
 //
 // Each experiment prints the corresponding rows/series; EXPERIMENTS.md
-// records the paper-vs-reproduction comparison.
+// records the paper-vs-reproduction comparison. Independent experiments —
+// and independent configuration points inside each experiment — fan out
+// across -workers goroutines (0 = GOMAXPROCS). Simulated results are
+// identical for any worker count; the wall-clock columns some figures
+// print measure this host and are only meaningful at -workers 1 (the
+// default).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
 	"atlahs/internal/experiments"
@@ -19,6 +24,7 @@ import (
 
 func main() {
 	mode := flag.String("mode", "full", "experiment sizing: quick or full")
+	workers := flag.Int("workers", 1, "concurrent experiment/sweep goroutines (0 = GOMAXPROCS); >1 distorts the printed wall-clock columns")
 	flag.Parse()
 	m := experiments.Full
 	switch *mode {
@@ -30,29 +36,21 @@ func main() {
 		os.Exit(2)
 	}
 	names := flag.Args()
-	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
-		names = []string{"fig1c", "table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+	if len(names) == 1 && names[0] == "all" {
+		names = nil
 	}
-	type runner func(io.Writer, experiments.Mode) error
-	run := map[string]runner{
-		"fig1c":  func(w io.Writer, m experiments.Mode) error { _, err := experiments.Fig1C(w, m); return err },
-		"table1": func(w io.Writer, m experiments.Mode) error { _, err := experiments.Table1(w, m); return err },
-		"fig8":   func(w io.Writer, m experiments.Mode) error { _, err := experiments.Fig8(w, m); return err },
-		"fig9":   func(w io.Writer, m experiments.Mode) error { _, err := experiments.Fig9(w, m); return err },
-		"fig10":  func(w io.Writer, m experiments.Mode) error { _, err := experiments.Fig10(w, m); return err },
-		"fig11":  func(w io.Writer, m experiments.Mode) error { _, err := experiments.Fig11(w, m); return err },
-		"fig12":  func(w io.Writer, m experiments.Mode) error { _, err := experiments.Fig12(w, m); return err },
-		"fig13":  func(w io.Writer, m experiments.Mode) error { _, err := experiments.Fig13(w, m); return err },
+	known := map[string]bool{}
+	for _, n := range experiments.Names() {
+		known[n] = true
 	}
-	for _, name := range names {
-		fn, ok := run[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+	for _, n := range names {
+		if !known[n] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", n)
 			os.Exit(2)
 		}
-		if err := fn(os.Stdout, m); err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
-			os.Exit(1)
-		}
+	}
+	if err := experiments.RunAll(os.Stdout, m, *workers, names); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

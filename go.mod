@@ -1,0 +1,3 @@
+module atlahs
+
+go 1.24

@@ -62,8 +62,7 @@ type lgsMsg struct {
 
 // lgsRecv is the matcher payload for a posted receive.
 type lgsRecv struct {
-	ev   core.RecvEvent
-	post simtime.Time
+	ev core.RecvEvent
 }
 
 // LGS is the LogGOPSim-style message-level backend. It models per-rank
@@ -72,11 +71,16 @@ type lgsRecv struct {
 // at S bytes. It is topology-oblivious: contention inside the fabric is
 // invisible to it, which is exactly the limitation paper Fig 12
 // demonstrates on oversubscribed topologies.
+//
+// All of its state is per-rank (streams, NIC, matcher queues) and every
+// cross-rank effect travels at least the wire latency L, so the backend
+// can run on the parallel engine: each rank's events execute on that
+// rank's lane and L is the declared lookahead.
 type LGS struct {
 	P LogGOPS
 
-	eng     *engine.Engine
 	over    core.CompletionFunc
+	lanes   []engine.Sim
 	streams *core.StreamTable
 	nicFree []simtime.Time
 	match   *core.Matcher[lgsMsg, lgsRecv]
@@ -88,13 +92,20 @@ func NewLGS(p LogGOPS) *LGS { return &LGS{P: p} }
 // Name implements core.Backend.
 func (b *LGS) Name() string { return "lgs" }
 
+// Lookahead implements core.LookaheadProvider: no message reaches another
+// rank sooner than the wire latency L.
+func (b *LGS) Lookahead() simtime.Duration { return b.P.L }
+
 // Setup implements core.Backend.
-func (b *LGS) Setup(nranks int, eng *engine.Engine, over core.CompletionFunc) error {
+func (b *LGS) Setup(nranks int, eng engine.Sim, over core.CompletionFunc) error {
 	if nranks <= 0 {
 		return fmt.Errorf("lgs: non-positive rank count %d", nranks)
 	}
-	b.eng = eng
 	b.over = over
+	b.lanes = make([]engine.Sim, nranks)
+	for i := range b.lanes {
+		b.lanes[i] = eng.Lane(i)
+	}
 	b.streams = core.NewStreamTable(nranks)
 	b.nicFree = make([]simtime.Time, nranks)
 	b.match = core.NewMatcher[lgsMsg, lgsRecv](nranks)
@@ -103,14 +114,16 @@ func (b *LGS) Setup(nranks int, eng *engine.Engine, over core.CompletionFunc) er
 
 // Calc implements core.Backend: occupy the stream, complete at the end.
 func (b *LGS) Calc(ev core.CalcEvent) {
-	_, end := b.streams.Acquire(ev.Rank, ev.CPU, b.eng.Now(), ev.Duration)
+	ln := b.lanes[ev.Rank]
+	_, end := b.streams.Acquire(ev.Rank, ev.CPU, ln.Now(), ev.Duration)
 	h := ev.Handle
-	b.eng.Schedule(end, func() { b.over(h, end) })
+	ln.Schedule(end, func() { b.over(h, end) })
 }
 
-// Send implements core.Backend.
+// Send implements core.Backend. Runs on the source rank's lane.
 func (b *LGS) Send(ev core.SendEvent) {
-	now := b.eng.Now()
+	ln := b.lanes[ev.Src]
+	now := ln.Now()
 	cpu := b.P.O + simtime.Duration(ev.Size)*b.P.OB
 	_, cpuEnd := b.streams.Acquire(ev.Src, ev.CPU, now, cpu)
 	if b.P.S > 0 && ev.Size >= b.P.S {
@@ -118,7 +131,7 @@ func (b *LGS) Send(ev core.SendEvent) {
 		// receive is posted. The send op completes when the payload has
 		// been handed to the wire.
 		rtsArrival := cpuEnd.Add(b.P.L)
-		b.eng.Schedule(rtsArrival, func() {
+		ln.ScheduleOn(ev.Dst, rtsArrival, func() {
 			if rv, ok := b.match.Arrive(ev.Dst, ev.Src, ev.Tag, lgsMsg{rendezvous: true, arrival: rtsArrival, send: ev}); ok {
 				b.rendezvousTransfer(ev, rv)
 			}
@@ -131,18 +144,17 @@ func (b *LGS) Send(ev core.SendEvent) {
 	b.nicFree[ev.Src] = inject.Add(b.P.G + simtime.Duration(ev.Size)*b.P.GB)
 	arrival := inject.Add(simtime.Duration(ev.Size)*b.P.GB + b.P.L)
 	h := ev.Handle
-	b.eng.Schedule(cpuEnd, func() { b.over(h, cpuEnd) })
-	b.eng.Schedule(arrival, func() {
+	ln.Schedule(cpuEnd, func() { b.over(h, cpuEnd) })
+	ln.ScheduleOn(ev.Dst, arrival, func() {
 		if rv, ok := b.match.Arrive(ev.Dst, ev.Src, ev.Tag, lgsMsg{arrival: arrival}); ok {
 			b.completeRecv(rv, arrival)
 		}
 	})
 }
 
-// Recv implements core.Backend.
+// Recv implements core.Backend. Runs on the destination rank's lane.
 func (b *LGS) Recv(ev core.RecvEvent) {
-	now := b.eng.Now()
-	rv := lgsRecv{ev: ev, post: now}
+	rv := lgsRecv{ev: ev}
 	if msg, ok := b.match.Post(ev.Dst, ev.Src, ev.Tag, rv); ok {
 		if msg.rendezvous {
 			b.rendezvousTransfer(msg.send, rv)
@@ -153,28 +165,32 @@ func (b *LGS) Recv(ev core.RecvEvent) {
 }
 
 // rendezvousTransfer runs the CTS + data phase after an RTS matched a
-// posted receive. Called at the match time (max of RTS arrival and post).
+// posted receive. Called at the match time (max of RTS arrival and post)
+// on the receiver's lane; the CTS hop moves execution back to the sender's
+// lane, where the NIC state lives.
 func (b *LGS) rendezvousTransfer(send core.SendEvent, rv lgsRecv) {
-	now := b.eng.Now()
-	ctsAtSender := now.Add(b.P.L)
-	b.eng.Schedule(ctsAtSender, func() {
+	dl := b.lanes[rv.ev.Dst]
+	ctsAtSender := dl.Now().Add(b.P.L)
+	dl.ScheduleOn(send.Src, ctsAtSender, func() {
+		sl := b.lanes[send.Src]
 		inject := simtime.Max(ctsAtSender, b.nicFree[send.Src])
 		b.nicFree[send.Src] = inject.Add(b.P.G + simtime.Duration(send.Size)*b.P.GB)
 		wireDone := inject.Add(simtime.Duration(send.Size) * b.P.GB)
 		arrival := wireDone.Add(b.P.L)
 		sh := send.Handle
-		b.eng.Schedule(wireDone, func() { b.over(sh, wireDone) })
-		b.eng.Schedule(arrival, func() { b.completeRecv(rv, arrival) })
+		sl.Schedule(wireDone, func() { b.over(sh, wireDone) })
+		sl.ScheduleOn(rv.ev.Dst, arrival, func() { b.completeRecv(rv, arrival) })
 	})
 }
 
 // completeRecv charges the receive overhead on the receive's stream
 // starting at the data arrival (or post time, whichever is later — we are
-// called at that instant) and reports completion.
+// called at that instant, on the receiver's lane) and reports completion.
 func (b *LGS) completeRecv(rv lgsRecv, arrival simtime.Time) {
-	from := simtime.Max(arrival, b.eng.Now())
+	dl := b.lanes[rv.ev.Dst]
+	from := simtime.Max(arrival, dl.Now())
 	cpu := b.P.O + simtime.Duration(rv.ev.Size)*b.P.OB
 	_, end := b.streams.Acquire(rv.ev.Dst, rv.ev.CPU, from, cpu)
 	h := rv.ev.Handle
-	b.eng.Schedule(end, func() { b.over(h, end) })
+	dl.Schedule(end, func() { b.over(h, end) })
 }

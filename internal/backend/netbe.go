@@ -58,14 +58,21 @@ type NetBackend struct {
 // Name implements core.Backend.
 func (b *NetBackend) Name() string { return b.name }
 
-// Setup implements core.Backend.
-func (b *NetBackend) Setup(nranks int, eng *engine.Engine, over core.CompletionFunc) error {
-	net, err := b.mkNet(eng, nranks)
+// Setup implements core.Backend. The congestion-aware networks share fabric
+// state across all ranks (queues, flows), so they cannot declare a
+// lookahead and run only on the serial engine; a parallel engine is
+// rejected here rather than racing later.
+func (b *NetBackend) Setup(nranks int, eng engine.Sim, over core.CompletionFunc) error {
+	serial, ok := eng.(*engine.Engine)
+	if !ok {
+		return fmt.Errorf("%s backend: shared network state requires the serial engine (no lookahead bound); use sched.RunParallel for automatic fallback", b.name)
+	}
+	net, err := b.mkNet(serial, nranks)
 	if err != nil {
 		return err
 	}
 	b.net = net
-	b.eng = eng
+	b.eng = serial
 	b.over = over
 	b.streams = core.NewStreamTable(nranks)
 	b.match = core.NewMatcher[netMsg, netRecv](nranks)

@@ -1,0 +1,188 @@
+package backend
+
+import (
+	"fmt"
+	"testing"
+
+	"atlahs/internal/engine"
+	"atlahs/internal/goal"
+	"atlahs/internal/pktnet"
+	"atlahs/internal/sched"
+	"atlahs/internal/simtime"
+	"atlahs/internal/topo"
+	"atlahs/internal/workload/micro"
+)
+
+// parWorkloads are the seeded GOAL workloads the equivalence suite runs:
+// they cover symmetric bulk traffic, rings with carried dependencies,
+// irregular seeded point-to-point traffic with compute, and the rendezvous
+// protocol (HPC parameters, sizes above the 256 KB threshold).
+func parWorkloads() []struct {
+	name   string
+	s      *goal.Schedule
+	params LogGOPS
+} {
+	return []struct {
+		name   string
+		s      *goal.Schedule
+		params LogGOPS
+	}{
+		{"alltoall-16", micro.AllToAll(16, 65536), AIParams()},
+		{"ring-32", micro.Ring(32, 4096), AIParams()},
+		{"bsp-12x6", micro.BulkSynchronous(12, 6, 32768, 2000), AIParams()},
+		{"uniform-random-24", micro.UniformRandom(24, 400, 8192, 7), AIParams()},
+		{"incast-17", micro.Incast(17, 16, 1<<20), AIParams()},
+		{"rendezvous-bsp-8x4", micro.BulkSynchronous(8, 4, 300_000, 5000), HPCParams()},
+	}
+}
+
+// sameResult asserts two runs are bit-identical: simulated runtime, every
+// rank's completion time, and the executed op count.
+func sameResult(t *testing.T, label string, got, want *sched.Result) {
+	t.Helper()
+	if got.Runtime != want.Runtime {
+		t.Fatalf("%s: Runtime %v, want %v", label, got.Runtime, want.Runtime)
+	}
+	if got.Ops != want.Ops {
+		t.Fatalf("%s: Ops %d, want %d", label, got.Ops, want.Ops)
+	}
+	if len(got.RankEnd) != len(want.RankEnd) {
+		t.Fatalf("%s: %d ranks, want %d", label, len(got.RankEnd), len(want.RankEnd))
+	}
+	for r := range got.RankEnd {
+		if got.RankEnd[r] != want.RankEnd[r] {
+			t.Fatalf("%s: RankEnd[%d] = %v, want %v", label, r, got.RankEnd[r], want.RankEnd[r])
+		}
+	}
+}
+
+// TestParallelLGSMatchesSerial is the equivalence harness the paper's
+// parallelisation claim rests on: for every seeded workload, the parallel
+// engine at 1, 2, 4 and 8 workers must produce completion times
+// bit-identical to the proven serial engine, and repeated runs must be
+// reproducible.
+func TestParallelLGSMatchesSerial(t *testing.T) {
+	for _, wl := range parWorkloads() {
+		wl := wl
+		t.Run(wl.name, func(t *testing.T) {
+			serial, err := sched.Run(engine.New(), wl.s, NewLGS(wl.params), sched.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				for rep := 0; rep < 2; rep++ {
+					eng := engine.NewParallel(wl.s.NumRanks(), workers, NewLGS(wl.params).Lookahead())
+					par, err := sched.Run(eng, wl.s, NewLGS(wl.params), sched.Options{})
+					if err != nil {
+						t.Fatalf("workers=%d rep=%d: %v", workers, rep, err)
+					}
+					sameResult(t, fmt.Sprintf("workers=%d rep=%d", workers, rep), par, serial)
+					// The event count is part of the determinism fingerprint:
+					// both engines must execute exactly the same events.
+					if par.Events != serial.Events {
+						t.Fatalf("workers=%d rep=%d: %d events, serial %d", workers, rep, par.Events, serial.Events)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunParallelAutoSelection: RunParallel must give identical results to
+// the serial path whatever the requested worker count, including the
+// GOMAXPROCS default (workers <= 0).
+func TestRunParallelAutoSelection(t *testing.T) {
+	s := micro.BulkSynchronous(10, 4, 16384, 1500)
+	serial, err := sched.Run(engine.New(), s, NewLGS(AIParams()), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{-1, 0, 1, 3, 8} {
+		par, err := sched.RunParallel(workers, s, NewLGS(AIParams()), sched.Options{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		sameResult(t, fmt.Sprintf("workers=%d", workers), par, serial)
+	}
+}
+
+// TestParallelCalcScaleMatchesSerial: the hardware adaptation factor must
+// behave identically on both engines.
+func TestParallelCalcScaleMatchesSerial(t *testing.T) {
+	s := micro.BulkSynchronous(8, 3, 8192, 4000)
+	opts := sched.Options{CalcScale: 2.5}
+	serial, err := sched.Run(engine.New(), s, NewLGS(AIParams()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sched.RunParallel(4, s, NewLGS(AIParams()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "calc-scale", par, serial)
+}
+
+// TestZeroLatencyLGSFallsBackToSerial: LogGOPS with L = 0 has no lookahead
+// window, so RunParallel must route to the serial engine rather than
+// construct an invalid parallel one.
+func TestZeroLatencyLGSFallsBackToSerial(t *testing.T) {
+	p := AIParams()
+	p.L = 0
+	if la := NewLGS(p).Lookahead(); la != 0 {
+		t.Fatalf("Lookahead = %v, want 0", la)
+	}
+	s := micro.Ring(8, 1024)
+	res, err := sched.RunParallel(4, s, NewLGS(p), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := sched.Run(engine.New(), s, NewLGS(p), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "zero-latency", res, serial)
+}
+
+// TestCrossBackendParallelFallback: the congestion-aware backends share
+// fabric state and must (a) reject a parallel engine outright and (b) run
+// serially — with identical results — when requested through RunParallel.
+func TestCrossBackendParallelFallback(t *testing.T) {
+	s := micro.Ring(8, 4096)
+	dom := func() (PktConfig, error) {
+		tp, err := FatTreeFor(8, 4, 1, topo.DefaultLinkSpec())
+		if err != nil {
+			return PktConfig{}, err
+		}
+		return PktConfig{
+			Net:    pktnet.Config{Topo: tp, CC: "mprdma", Seed: 3},
+			Params: DefaultNetParams(),
+		}, nil
+	}
+
+	cfg, err := dom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := engine.NewParallel(8, 4, simtime.Microsecond)
+	if _, err := sched.Run(pe, s, NewPkt(cfg), sched.Options{}); err == nil {
+		t.Fatal("pkt backend accepted a parallel engine")
+	}
+
+	cfgA, err := dom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := sched.Run(engine.New(), s, NewPkt(cfgA), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB, err := dom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaParallel, err := sched.RunParallel(4, s, NewPkt(cfgB), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "pkt-fallback", viaParallel, serial)
+}

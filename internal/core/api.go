@@ -82,12 +82,33 @@ type Backend interface {
 	Name() string
 	// Setup binds the backend to the engine and registers the completion
 	// callback. nranks is the number of GOAL ranks (= simulated nodes).
-	Setup(nranks int, eng *engine.Engine, over CompletionFunc) error
+	// Backends that cannot run on a parallel engine (shared network state,
+	// no lookahead) must reject anything but *engine.Engine here.
+	Setup(nranks int, eng engine.Sim, over CompletionFunc) error
 	// Send, Recv and Calc issue operations; completions arrive via the
 	// callback registered in Setup, at simulated times >= the issue time.
 	Send(ev SendEvent)
 	Recv(ev RecvEvent)
 	Calc(ev CalcEvent)
+}
+
+// LookaheadProvider is implemented by backends whose model guarantees a
+// minimum cross-rank delay: no operation issued by rank r at time t can
+// affect another rank before t + Lookahead(). Such backends can run on the
+// parallel engine, which uses the bound as its conservative window width.
+// A zero lookahead means the guarantee does not hold under the current
+// parameters (e.g. LogGOPS with L = 0) and forces the serial engine.
+type LookaheadProvider interface {
+	Lookahead() simtime.Duration
+}
+
+// LookaheadOf reports the backend's cross-rank delay bound, or 0 when the
+// backend does not provide one (so callers fall back to serial execution).
+func LookaheadOf(be Backend) simtime.Duration {
+	if lp, ok := be.(LookaheadProvider); ok {
+		return lp.Lookahead()
+	}
+	return 0
 }
 
 // StreamTable tracks per-rank, per-compute-stream availability. GOAL ops

@@ -20,6 +20,40 @@ import (
 // event's timestamp; Engine.Now() returns that timestamp during the call.
 type Handler func()
 
+// Sim is the simulation-clock contract shared by the serial Engine and the
+// parallel ParEngine. Backends and the scheduler program against it, so a
+// simulation can run on either engine unchanged.
+//
+// Lanes partition simulation state for parallel execution; in ATLAHS one
+// lane corresponds to one GOAL rank. A handler running on lane r may touch
+// only lane-r state and may schedule further lane-r events at any time >=
+// now via Schedule. Events for another lane must go through ScheduleOn and
+// — on the parallel engine — must lie at least the engine's lookahead after
+// the current time. The serial Engine ignores lanes entirely: Lane returns
+// the engine itself and ScheduleOn behaves like Schedule, so serial code
+// pays no cost for the contract.
+type Sim interface {
+	// Now returns the current simulated time of the calling context (the
+	// lane's clock on the parallel engine).
+	Now() simtime.Time
+	// Schedule enqueues fn at absolute time at on the current lane.
+	Schedule(at simtime.Time, fn Handler)
+	// ScheduleOn enqueues fn at absolute time at on the given lane. On the
+	// parallel engine, cross-lane events must satisfy the lookahead window
+	// (at >= Now() + lookahead) while the engine is running.
+	ScheduleOn(lane int, at simtime.Time, fn Handler)
+	// After enqueues fn to run d after the current time on the current lane.
+	After(d simtime.Duration, fn Handler)
+	// Lane returns the Sim view for scheduling and reading time on the given
+	// lane. The serial engine returns itself.
+	Lane(lane int) Sim
+	// Run executes events until the queues drain and returns the time of the
+	// last executed event.
+	Run() simtime.Time
+	// EventsProcessed reports how many events have executed so far.
+	EventsProcessed() uint64
+}
+
 type event struct {
 	at  simtime.Time
 	seq uint64
@@ -79,10 +113,22 @@ func (e *Engine) Schedule(at simtime.Time, fn Handler) {
 	heap.Push(&e.queue, event{at: at, seq: e.seq, fn: fn})
 }
 
+// ScheduleOn implements Sim. The serial engine has a single event queue, so
+// the lane is irrelevant and the call is identical to Schedule.
+func (e *Engine) ScheduleOn(lane int, at simtime.Time, fn Handler) {
+	e.Schedule(at, fn)
+}
+
 // After enqueues fn to run d after the current time.
 func (e *Engine) After(d simtime.Duration, fn Handler) {
 	e.Schedule(e.now.Add(d), fn)
 }
+
+// Lane implements Sim: every lane of the serial engine is the engine itself.
+func (e *Engine) Lane(lane int) Sim { return e }
+
+// EventsProcessed implements Sim.
+func (e *Engine) EventsProcessed() uint64 { return e.Processed }
 
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }

@@ -1,0 +1,386 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"atlahs/internal/simtime"
+)
+
+// ParEngine is a conservative parallel discrete-event engine (the
+// parallelisation the ATLAHS paper applied to LogGOPSim, §5). Simulation
+// state is partitioned into lanes — one per GOAL rank — and time advances
+// in windows of width `lookahead`: because no cross-lane interaction can
+// take effect sooner than the model's minimum cross-rank delay (the
+// LogGOPS wire latency L), every lane can execute its events inside the
+// window [T, T+lookahead) independently. Worker goroutines process lanes
+// concurrently; cross-lane events produced during a window are buffered
+// per source lane and delivered at the window barrier.
+//
+// Determinism: every event carries the key (at, schedAt, schedLane,
+// schedSeq), assigned at scheduling time from the scheduling lane's own
+// clock and counter. The key is a function of each lane's deterministic
+// execution history only — never of cross-lane goroutine interleaving — and
+// each lane executes its events in key order. The simulation therefore
+// evolves identically for any worker count; workers change wall-clock
+// time, nothing else.
+//
+// Relative to the serial Engine, which breaks same-timestamp ties by
+// global insertion order, execution is identical except in one corner:
+// two handlers on *different* lanes firing at the *same* timestamp and
+// scheduling events for one target at the same time tie on (at, schedAt)
+// and fall through to lane order, where the serial engine would use the
+// handlers' own execution order. The equivalence suite in
+// internal/backend/par_test.go pins serial == parallel on the LGS
+// workloads; within the parallel engine, results never depend on the
+// worker count.
+type ParEngine struct {
+	workers   int
+	lookahead simtime.Duration
+	lanes     []*lane
+	running   bool
+	stop      atomic.Bool
+	now       simtime.Time
+}
+
+// pevent is a parallel-engine event with its deterministic ordering key.
+type pevent struct {
+	at        simtime.Time
+	schedAt   simtime.Time
+	schedLane int32
+	schedSeq  uint64
+	fn        Handler
+}
+
+func (a pevent) before(b pevent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
+	}
+	if a.schedLane != b.schedLane {
+		return a.schedLane < b.schedLane
+	}
+	return a.schedSeq < b.schedSeq
+}
+
+// peventHeap is a typed 4-ary min-heap ordered by the event key. Compared
+// to container/heap it avoids the interface{} boxing allocation on every
+// push and halves the tree depth, which matters: queue operations dominate
+// the engine's per-event cost.
+type peventHeap []pevent
+
+func (h *peventHeap) push(ev pevent) {
+	q := append(*h, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !q[i].before(q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
+}
+
+func (h *peventHeap) pop() pevent {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = pevent{}
+	q = q[:n]
+	*h = q
+	if n > 0 {
+		i := 0
+		for {
+			c := i*4 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if q[j].before(q[m]) {
+					m = j
+				}
+			}
+			if !q[m].before(last) {
+				break
+			}
+			q[i] = q[m]
+			i = m
+		}
+		q[i] = last
+	}
+	return top
+}
+
+// outEvent is a cross-lane event buffered until the window barrier.
+type outEvent struct {
+	dst int
+	ev  pevent
+}
+
+// lane is one shard of the simulation: its own clock, event queue and
+// scheduling counter. During a window a lane is touched by exactly one
+// worker goroutine; between windows only the coordinating goroutine runs.
+type lane struct {
+	id        int
+	eng       *ParEngine
+	now       simtime.Time
+	seq       uint64
+	queue     peventHeap
+	processed uint64
+	out       []outEvent
+}
+
+// NewParallel creates a parallel engine with `lanes` lanes advancing under
+// a conservative window of width `lookahead` (must be positive: it is the
+// model's guaranteed minimum cross-lane delay). workers <= 0 means
+// GOMAXPROCS.
+func NewParallel(lanes, workers int, lookahead simtime.Duration) *ParEngine {
+	if lanes <= 0 {
+		panic(fmt.Sprintf("engine: non-positive lane count %d", lanes))
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("engine: non-positive lookahead %v (the model must guarantee a minimum cross-lane delay)", lookahead))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &ParEngine{workers: workers, lookahead: lookahead, lanes: make([]*lane, lanes)}
+	for i := range p.lanes {
+		p.lanes[i] = &lane{id: i, eng: p}
+	}
+	return p
+}
+
+// Lanes reports the number of lanes.
+func (p *ParEngine) Lanes() int { return len(p.lanes) }
+
+// Workers reports the worker-goroutine budget.
+func (p *ParEngine) Workers() int { return p.workers }
+
+// Lookahead reports the conservative window width.
+func (p *ParEngine) Lookahead() simtime.Duration { return p.lookahead }
+
+// Now implements Sim. On the root engine it is the time of the last
+// executed event (lanes carry their own clocks while running).
+func (p *ParEngine) Now() simtime.Time { return p.now }
+
+// Schedule implements Sim on the root engine: events without a lane
+// context go to lane 0. Only valid outside Run (setup-time injection).
+func (p *ParEngine) Schedule(at simtime.Time, fn Handler) { p.ScheduleOn(0, at, fn) }
+
+// ScheduleOn implements Sim on the root engine: setup-time injection onto
+// the given lane. While Run is executing, scheduling must go through lane
+// views (Lane), which know their own clocks.
+func (p *ParEngine) ScheduleOn(ln int, at simtime.Time, fn Handler) {
+	if p.running {
+		panic("engine: ScheduleOn on the root ParEngine during Run; schedule through a Lane view")
+	}
+	p.lanes[ln].Schedule(at, fn)
+}
+
+// After implements Sim on the root engine (setup-time only, lane 0).
+func (p *ParEngine) After(d simtime.Duration, fn Handler) { p.Schedule(p.now.Add(d), fn) }
+
+// Lane implements Sim.
+func (p *ParEngine) Lane(ln int) Sim { return p.lanes[ln] }
+
+// EventsProcessed implements Sim. Call it between windows or after Run.
+func (p *ParEngine) EventsProcessed() uint64 {
+	var n uint64
+	for _, l := range p.lanes {
+		n += l.processed
+	}
+	return n
+}
+
+// Pending reports the number of queued events across all lanes.
+func (p *ParEngine) Pending() int {
+	n := 0
+	for _, l := range p.lanes {
+		n += len(l.queue) + len(l.out)
+	}
+	return n
+}
+
+// Stop makes Run return after the events currently executing complete.
+func (p *ParEngine) Stop() { p.stop.Store(true) }
+
+// Reset discards all pending events and rewinds every lane to time zero.
+func (p *ParEngine) Reset() {
+	for _, l := range p.lanes {
+		l.now, l.seq, l.processed = 0, 0, 0
+		l.queue = l.queue[:0]
+		l.out = l.out[:0]
+	}
+	p.now = 0
+	p.stop.Store(false)
+}
+
+// Run implements Sim: windowed conservative parallel execution until every
+// lane drains or Stop is called. Returns the time of the last executed
+// event.
+func (p *ParEngine) Run() simtime.Time {
+	p.running = true
+	p.stop.Store(false)
+	defer func() { p.running = false }()
+	active := make([]*lane, 0, len(p.lanes))
+	for !p.stop.Load() {
+		// The window base is the earliest pending event anywhere; every
+		// event executed this window is >= T, so cross-lane events (>= its
+		// lane's now + lookahead) land at or beyond the window end.
+		var T simtime.Time
+		found := false
+		for _, l := range p.lanes {
+			if len(l.queue) > 0 && (!found || l.queue[0].at < T) {
+				T = l.queue[0].at
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+		windowEnd := T.Add(p.lookahead)
+		active = active[:0]
+		for _, l := range p.lanes {
+			if len(l.queue) > 0 && l.queue[0].at < windowEnd {
+				active = append(active, l)
+			}
+		}
+		p.runWindow(active, windowEnd)
+		// Barrier: deliver buffered cross-lane events. Heap order is fully
+		// determined by the per-event keys, so delivery order is irrelevant.
+		for _, l := range p.lanes {
+			for _, oe := range l.out {
+				p.lanes[oe.dst].queue.push(oe.ev)
+			}
+			l.out = l.out[:0]
+		}
+	}
+	for _, l := range p.lanes {
+		if l.now > p.now {
+			p.now = l.now
+		}
+	}
+	return p.now
+}
+
+// runWindow executes every active lane up to (strictly before) end,
+// spreading lanes across worker goroutines.
+func (p *ParEngine) runWindow(active []*lane, end simtime.Time) {
+	nw := p.workers
+	if nw > len(active) {
+		nw = len(active)
+	}
+	if nw <= 1 {
+		for _, l := range active {
+			l.runTo(end)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	panics := make(chan interface{}, nw)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+			}()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(active) {
+					return
+				}
+				active[i].runTo(end)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case r := <-panics:
+		panic(r)
+	default:
+	}
+}
+
+// runTo executes the lane's events with timestamps strictly before end.
+func (l *lane) runTo(end simtime.Time) {
+	for len(l.queue) > 0 && l.queue[0].at < end && !l.eng.stop.Load() {
+		ev := l.queue.pop()
+		l.now = ev.at
+		l.processed++
+		ev.fn()
+	}
+}
+
+// Now implements Sim for a lane view.
+func (l *lane) Now() simtime.Time { return l.now }
+
+// Schedule implements Sim for a lane view: a lane-local event, ordered by
+// the deterministic key stamped here.
+func (l *lane) Schedule(at simtime.Time, fn Handler) {
+	if at < l.now {
+		panic(fmt.Sprintf("engine: lane %d scheduling event at %v before now %v", l.id, at, l.now))
+	}
+	ev := pevent{at: at, schedAt: l.now, schedLane: int32(l.id), schedSeq: l.seq, fn: fn}
+	l.seq++
+	l.queue.push(ev)
+}
+
+// ScheduleOn implements Sim for a lane view. Cross-lane events must
+// respect the lookahead window while the engine is running; violations are
+// model bugs (the backend promised a larger minimum delay than it honours)
+// and panic immediately.
+func (l *lane) ScheduleOn(dst int, at simtime.Time, fn Handler) {
+	if dst == l.id {
+		l.Schedule(at, fn)
+		return
+	}
+	ev := pevent{at: at, schedAt: l.now, schedLane: int32(l.id), schedSeq: l.seq, fn: fn}
+	l.seq++
+	if l.eng.running {
+		if at < l.now.Add(l.eng.lookahead) {
+			panic(fmt.Sprintf("engine: lane %d -> %d event at %v violates lookahead %v from now %v",
+				l.id, dst, at, l.eng.lookahead, l.now))
+		}
+		l.out = append(l.out, outEvent{dst: dst, ev: ev})
+		return
+	}
+	// Setup time is single-goroutine: deliver directly.
+	if at < l.now {
+		panic(fmt.Sprintf("engine: lane %d scheduling event at %v before now %v", l.id, at, l.now))
+	}
+	l.eng.lanes[dst].queue.push(ev)
+}
+
+// After implements Sim for a lane view.
+func (l *lane) After(d simtime.Duration, fn Handler) { l.Schedule(l.now.Add(d), fn) }
+
+// Lane implements Sim for a lane view.
+func (l *lane) Lane(ln int) Sim { return l.eng.lanes[ln] }
+
+// Run implements Sim for a lane view; only the root engine can run.
+func (l *lane) Run() simtime.Time {
+	panic("engine: Run called on a lane view; call Run on the ParEngine")
+}
+
+// EventsProcessed implements Sim for a lane view (whole-engine count).
+// Like the root method it is only meaningful between windows or after Run:
+// calling it from a handler while other workers are mid-window would read
+// their counters racily.
+func (l *lane) EventsProcessed() uint64 { return l.eng.EventsProcessed() }

@@ -74,23 +74,29 @@ func Fig8(w io.Writer, mode Mode) (*Fig8Result, error) {
 	fmt.Fprintf(w, "%-38s %12s %7s %22s %22s %s\n",
 		"configuration", "measured", "comp%", "LGS (err%)", "pkt (err%)", "astra (err%)")
 	dom := AIDomain()
-	for i, c := range fig8Cases(mode) {
+	cases := fig8Cases(mode)
+	rows := make([]Fig8Row, len(cases))
+	// Every configuration is an isolated simulation stack (own engines,
+	// seeds, topologies), so the sweep fans out across the worker budget;
+	// rows land at their index and print in order below.
+	err := ForEach(Workers(), len(cases), func(i int) error {
+		c := cases[i]
 		rep, err := llm.Generate(llm.Config{Model: c.Model, Par: c.Par, Scale: c.Scale, Seed: uint64(40 + i)})
 		if err != nil {
-			return nil, fmt.Errorf("fig8 %s: %w", c.Label, err)
+			return fmt.Errorf("fig8 %s: %w", c.Label, err)
 		}
 		sch, err := ncclgoal.Generate(rep, ncclgoal.Config{GPUsPerNode: c.GPN})
 		if err != nil {
-			return nil, fmt.Errorf("fig8 %s goal: %w", c.Label, err)
+			return fmt.Errorf("fig8 %s goal: %w", c.Label, err)
 		}
 		nodes := sch.NumRanks()
 		tpM, err := FatTree(nodes, 4, 1, dom)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		measured, _, err := RunFluid(sch, tpM, uint64(70+i), dom)
 		if err != nil {
-			return nil, fmt.Errorf("fig8 %s measured: %w", c.Label, err)
+			return fmt.Errorf("fig8 %s measured: %w", c.Label, err)
 		}
 		row := Fig8Row{Label: c.Label, Measured: measured}
 		row.ComputePct = 100 * float64(ComputeOnlyRuntime(sch)) / float64(measured)
@@ -99,27 +105,27 @@ func Fig8(w io.Writer, mode Mode) (*Fig8Result, error) {
 		// serialised trace, then simulate (the paper measures whole runs)
 		var goalBin bytes.Buffer
 		if err := goal.WriteBinary(&goalBin, sch); err != nil {
-			return nil, err
+			return err
 		}
 		lgsStart := time.Now()
 		schLoaded, err := goal.ReadBinary(bytes.NewReader(goalBin.Bytes()))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		lgs, _, err := RunLGS(schLoaded, dom.LGS)
 		if err != nil {
-			return nil, fmt.Errorf("fig8 %s lgs: %w", c.Label, err)
+			return fmt.Errorf("fig8 %s lgs: %w", c.Label, err)
 		}
 		row.LGS, row.LGSWall = lgs, time.Since(lgsStart)
 		row.LGSErrPct = PercentErr(lgs, measured)
 
 		tpP, err := FatTree(nodes, 4, 1, dom)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pkt, err := RunPkt(sch, tpP, "mprdma", uint64(90+i), dom)
 		if err != nil {
-			return nil, fmt.Errorf("fig8 %s pkt: %w", c.Label, err)
+			return fmt.Errorf("fig8 %s pkt: %w", c.Label, err)
 		}
 		row.Pkt, row.PktWall = pkt.Runtime, pkt.Wall
 		row.PktErrPct = PercentErr(pkt.Runtime, measured)
@@ -127,11 +133,11 @@ func Fig8(w io.Writer, mode Mode) (*Fig8Result, error) {
 		// AstraSim-lite baseline on the Chakra rendering (load + simulate)
 		ctr, err := llm.GenerateChakra(llm.Config{Model: c.Model, Par: c.Par, Scale: c.Scale, Seed: uint64(40 + i)})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var chakraBin bytes.Buffer
 		if _, err := ctr.WriteTo(&chakraBin); err != nil {
-			return nil, err
+			return err
 		}
 		aStart := time.Now()
 		ctrLoaded, aerr := chakra.Parse(bytes.NewReader(chakraBin.Bytes()))
@@ -147,6 +153,13 @@ func Fig8(w io.Writer, mode Mode) (*Fig8Result, error) {
 			row.AstraErrPct = PercentErr(ares.Runtime, measured)
 		}
 
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		res.Rows = append(res.Rows, row)
 		astraCol := "FAILED (unsupported parallelism)"
 		if row.AstraErr == "" {

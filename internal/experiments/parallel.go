@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// sweepWorkers is the goroutine budget for per-figure configuration-point
+// fan-out (see ForEach). Defaults to 1 so library users and tests keep
+// fully serial behaviour unless they opt in via SetWorkers.
+var sweepWorkers atomic.Int32
+
+func init() { sweepWorkers.Store(1) }
+
+// SetWorkers sets the goroutine budget used by experiment sweeps for their
+// independent configuration points. n <= 0 selects GOMAXPROCS.
+func SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	sweepWorkers.Store(int32(n))
+}
+
+// Workers reports the current sweep budget.
+func Workers() int { return int(sweepWorkers.Load()) }
+
+// ForEach runs fn(i) for every i in [0, n) across up to `workers`
+// goroutines and returns the first error (by index order among the points
+// that ran). A failure stops new points from starting — in-flight ones
+// finish — so a broken sweep fails fast instead of burning through the
+// remaining configurations. Every configuration point of the evaluation
+// figures is an isolated simulation with its own engine and seed, so
+// points can fan out freely; callers keep determinism by writing results
+// into index i of a pre-sized slice and printing after the join.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Names lists every experiment RunAll understands, in paper order.
+func Names() []string {
+	return []string{"fig1c", "table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+}
+
+// runners maps experiment names to their generator functions.
+var runners = map[string]func(io.Writer, Mode) error{
+	"fig1c":  func(w io.Writer, m Mode) error { _, err := Fig1C(w, m); return err },
+	"table1": func(w io.Writer, m Mode) error { _, err := Table1(w, m); return err },
+	"fig8":   func(w io.Writer, m Mode) error { _, err := Fig8(w, m); return err },
+	"fig9":   func(w io.Writer, m Mode) error { _, err := Fig9(w, m); return err },
+	"fig10":  func(w io.Writer, m Mode) error { _, err := Fig10(w, m); return err },
+	"fig11":  func(w io.Writer, m Mode) error { _, err := Fig11(w, m); return err },
+	"fig12":  func(w io.Writer, m Mode) error { _, err := Fig12(w, m); return err },
+	"fig13":  func(w io.Writer, m Mode) error { _, err := Fig13(w, m); return err },
+}
+
+// RunAll regenerates the named experiments (all of them when names is
+// empty), fanning independent experiments across up to `workers`
+// goroutines (workers <= 0 means GOMAXPROCS). The worker budget is split
+// between the two fan-out levels — experiments here, configuration points
+// inside each experiment (SetWorkers) — so total concurrency stays near
+// `workers` instead of multiplying; the previous sweep budget is restored
+// on return. The budget lives in a package global, so RunAll is not
+// reentrant: run one evaluation at a time per process.
+//
+// With one outer worker, experiments stream straight to w as they
+// compute; with more, each experiment writes into its own buffer and
+// buffers flush in request order. Simulated results are identical either
+// way — only wall-clock columns (the host measurements some figures
+// print) vary run to run, and under concurrency they additionally measure
+// core contention from sibling simulations.
+func RunAll(w io.Writer, mode Mode, workers int, names []string) error {
+	if len(names) == 0 {
+		names = Names()
+	}
+	for _, name := range names {
+		if _, ok := runners[name]; !ok {
+			return fmt.Errorf("experiments: unknown experiment %q", name)
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	outer := workers
+	if outer > len(names) {
+		outer = len(names)
+	}
+	inner := workers / outer
+	if inner < 1 {
+		inner = 1
+	}
+	prev := Workers()
+	SetWorkers(inner)
+	defer SetWorkers(prev)
+	if outer <= 1 {
+		// Serial outer level: stream incrementally, as the CLI always has.
+		for _, name := range names {
+			if err := runners[name](w, mode); err != nil {
+				return fmt.Errorf("experiment %s failed: %w", name, err)
+			}
+		}
+		return nil
+	}
+	bufs := make([]bytes.Buffer, len(names))
+	flushed := 0
+	var mu sync.Mutex
+	var writeErr error
+	flush := func(done []bool) { // caller holds mu
+		for writeErr == nil && flushed < len(names) && done[flushed] {
+			if _, err := io.Copy(w, &bufs[flushed]); err != nil {
+				writeErr = fmt.Errorf("experiments: writing %s output: %w", names[flushed], err)
+				return
+			}
+			flushed++
+		}
+	}
+	done := make([]bool, len(names))
+	err := ForEach(outer, len(names), func(i int) error {
+		ferr := runners[names[i]](&bufs[i], mode)
+		mu.Lock()
+		done[i] = true
+		flush(done)
+		mu.Unlock()
+		if ferr != nil {
+			return fmt.Errorf("experiment %s failed: %w", names[i], ferr)
+		}
+		return nil
+	})
+	mu.Lock()
+	flush(done)
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return writeErr
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		var hits [20]atomic.Int32
+		if err := ForEach(workers, len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEachReturnsFirstErrorByIndex(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	err := ForEach(4, 10, func(i int) error {
+		switch i {
+		case 3:
+			return errB
+		case 2:
+			return errA
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("got %v, want the lowest-index error %v", err, errA)
+	}
+}
+
+// TestRunAllParallelMatchesSerial: the concurrent experiment runner must
+// produce byte-identical output to a serial run. Fig 8 is excluded here
+// because it prints wall-clock columns, which legitimately vary run to
+// run; its simulated results are covered by TestFig8ParallelPoints.
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-suite comparison")
+	}
+	names := []string{"fig1c", "fig9", "fig12"}
+	run := func(workers int) string {
+		t.Helper()
+		defer SetWorkers(1)
+		var buf bytes.Buffer
+		if err := RunAll(&buf, Quick, workers, names); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := run(1)
+	parallel := run(4)
+	if serial != parallel {
+		t.Fatalf("parallel RunAll output diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if serial == "" {
+		t.Fatal("empty output")
+	}
+}
+
+// TestFig8ParallelPoints: Fig 8's configuration points fanned out across
+// workers must produce the same simulated rows as the serial sweep
+// (wall-clock fields excluded — they are measurements of this host, not of
+// the simulation).
+func TestFig8ParallelPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full fig8 sweeps")
+	}
+	run := func(workers int) *Fig8Result {
+		t.Helper()
+		SetWorkers(workers)
+		defer SetWorkers(1)
+		res, err := Fig8(io.Discard, Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(3)
+	if len(serial.Rows) != len(parallel.Rows) {
+		t.Fatalf("row count %d vs %d", len(parallel.Rows), len(serial.Rows))
+	}
+	for i := range serial.Rows {
+		s, p := serial.Rows[i], parallel.Rows[i]
+		s.LGSWall, s.PktWall, s.AstraWall = 0, 0, 0
+		p.LGSWall, p.PktWall, p.AstraWall = 0, 0, 0
+		if s != p {
+			t.Fatalf("row %d diverged:\nserial:   %+v\nparallel: %+v", i, p, s)
+		}
+	}
+}
+
+func TestRunAllRejectsUnknownName(t *testing.T) {
+	if err := RunAll(io.Discard, Quick, 2, []string{"fig99"}); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+}

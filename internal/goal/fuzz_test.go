@@ -1,0 +1,60 @@
+package goal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseText hardens the textual GOAL parser: whatever bytes arrive,
+// parsing must return an error — never panic or over-allocate — and any
+// schedule it accepts must survive a WriteText/ParseText round trip with
+// identical shape. The seed corpus mirrors the goal_test.go fixtures:
+// paper syntax, dependencies, comments, every op attribute, and the common
+// malformations the error tests cover.
+func FuzzParseText(f *testing.F) {
+	seeds := []string{
+		// paper Fig 3 syntax (mirrors TestParseTextPaperSyntax)
+		"num_ranks 2\nrank 0 {\nl1: calc 100\nl2: calc 200 cpu 1\nl3: send 10b to 1 tag 42\nl4: recv 10b from 1 tag 42 cpu 1\nl3 requires l1\nl4 irequires l2\n}\nrank 1 {\nl1: recv 10b from 0 tag 42\nl2: send 10b to 0 tag 42\nl2 requires l1\n}\n",
+		// comments, blank lines, forward labels
+		"// a comment\nnum_ranks 1\nrank 0 {\n\nl2 requires l1\nl1: calc 5\nl2: calc 7\n}\n",
+		// rendezvous-sized sends, wildcard-ish tags, nic attribute
+		"num_ranks 2\nrank 0 {\nl1: send 300000b to 1 tag 0 nic 1\n}\nrank 1 {\nl1: recv 300000b from 0 tag 0\n}\n",
+		// malformed inputs from TestParseTextErrors territory
+		"num_ranks 0\n",
+		"num_ranks 2\nnum_ranks 2\n",
+		"rank 0 {\n}\n",
+		"num_ranks 1\nrank 0 {\nl1: calc\n}\n",
+		"num_ranks 1\nrank 0 {\nl1: send 5 to 0\n}\n",
+		"num_ranks 1\nrank 0 {\nl1: calc 5\nl1: calc 6\n}\n",
+		"num_ranks 1\nrank 0 {\nl1: calc 5\nl2 requires l9\n}\n",
+		"num_ranks 1\nrank 0 {\nl1: calc 5\n",
+		"num_ranks 99999999999999999999\n",
+		"num_ranks 10000000000\n",
+		"num_ranks 1\nrank 0 {\nl1: recv -10b from 0 tag -1\n}\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseText(strings.NewReader(src))
+		if err != nil {
+			return // rejected inputs just need to fail cleanly
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, s); err != nil {
+			t.Fatalf("WriteText failed on accepted schedule: %v", err)
+		}
+		again, err := ParseText(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected:\n%s\nerror: %v", buf.String(), err)
+		}
+		if again.NumRanks() != s.NumRanks() {
+			t.Fatalf("round trip rank count %d, want %d", again.NumRanks(), s.NumRanks())
+		}
+		st, st2 := s.ComputeStats(), again.ComputeStats()
+		if st != st2 {
+			t.Fatalf("round trip stats %+v, want %+v", st2, st)
+		}
+	})
+}

@@ -24,6 +24,12 @@ import (
 // a "b" suffix; calc durations are plain nanosecond integers. "cpu N"
 // assigns the compute stream, "tag N" the message tag (default 0).
 
+// MaxTextRanks bounds the rank count a textual GOAL header may declare.
+// Rank state is allocated up front from the header, so an absurd count in
+// a malformed (or hostile) file would exhaust memory before any op line is
+// even read; real schedules at this scale ship as binary GOAL anyway.
+const MaxTextRanks = 1 << 20
+
 // WriteText prints the schedule in textual GOAL format.
 func WriteText(w io.Writer, s *Schedule) error {
 	bw := bufio.NewWriter(w)
@@ -106,6 +112,9 @@ func (p *textParser) line(line string) error {
 		n, err := strconv.Atoi(fields[1])
 		if err != nil || n <= 0 {
 			return fmt.Errorf("bad rank count %q", fields[1])
+		}
+		if n > MaxTextRanks {
+			return fmt.Errorf("rank count %d exceeds the text-format limit %d", n, MaxTextRanks)
 		}
 		if p.b != nil {
 			return fmt.Errorf("duplicate num_ranks")

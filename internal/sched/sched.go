@@ -13,6 +13,7 @@ package sched
 
 import (
 	"fmt"
+	"runtime"
 
 	"atlahs/internal/core"
 	"atlahs/internal/engine"
@@ -49,12 +50,14 @@ type rankState struct {
 }
 
 type runner struct {
-	eng   *engine.Engine
+	eng   engine.Sim
 	s     *goal.Schedule
 	be    core.Backend
 	scale float64
 	ranks []rankState
-	done  int64
+	// done is per-rank: completion handlers run on the op's rank lane, which
+	// may execute concurrently with other ranks on the parallel engine.
+	done  []int64
 	total int64
 	end   []simtime.Time
 }
@@ -62,9 +65,12 @@ type runner struct {
 // Run simulates schedule s on backend be using eng. It returns an error if
 // the schedule deadlocks (events drained with ops still pending), which
 // indicates an invalid schedule (e.g. unmatched sends/recvs).
-func Run(eng *engine.Engine, s *goal.Schedule, be core.Backend, opts Options) (*Result, error) {
+func Run(eng engine.Sim, s *goal.Schedule, be core.Backend, opts Options) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	if pe, ok := eng.(*engine.ParEngine); ok && pe.Lanes() < s.NumRanks() {
+		return nil, fmt.Errorf("sched: parallel engine has %d lanes for %d ranks", pe.Lanes(), s.NumRanks())
 	}
 	scale := opts.CalcScale
 	if scale == 0 {
@@ -76,6 +82,7 @@ func Run(eng *engine.Engine, s *goal.Schedule, be core.Backend, opts Options) (*
 		be:    be,
 		scale: scale,
 		ranks: make([]rankState, s.NumRanks()),
+		done:  make([]int64, s.NumRanks()),
 		end:   make([]simtime.Time, s.NumRanks()),
 	}
 	if err := be.Setup(s.NumRanks(), eng, r.over); err != nil {
@@ -115,10 +122,10 @@ func Run(eng *engine.Engine, s *goal.Schedule, be core.Backend, opts Options) (*
 		}
 	}
 	eng.Run()
-	if r.done != r.total {
+	if r.doneOps() != r.total {
 		return nil, r.deadlockError()
 	}
-	res := &Result{RankEnd: r.end, Ops: r.done, Events: eng.Processed}
+	res := &Result{RankEnd: r.end, Ops: r.doneOps(), Events: eng.EventsProcessed()}
 	for _, t := range r.end {
 		if d := simtime.Duration(t); d > res.Runtime {
 			res.Runtime = d
@@ -160,7 +167,7 @@ func (r *runner) over(h core.Handle, at simtime.Time) {
 		panic(fmt.Sprintf("sched: double completion of rank %d op %d", rank, op))
 	}
 	st.completed[op] = true
-	r.done++
+	r.done[rank]++
 	if at > r.end[rank] {
 		r.end[rank] = at
 	}
@@ -193,5 +200,35 @@ func (r *runner) deadlockError() error {
 		}
 	}
 	return fmt.Errorf("sched: deadlock after %d/%d ops: %d issued-but-incomplete (likely unmatched sends/recvs), %d blocked on dependencies; first stuck rank %d",
-		r.done, r.total, issuedNotDone, neverIssued, firstRank)
+		r.doneOps(), r.total, issuedNotDone, neverIssued, firstRank)
+}
+
+// doneOps sums the per-rank completion counters (call between runs only).
+func (r *runner) doneOps() int64 {
+	var n int64
+	for _, d := range r.done {
+		n += d
+	}
+	return n
+}
+
+// RunParallel simulates s on be using up to `workers` goroutines
+// (workers <= 0 means GOMAXPROCS). It shards ranks across the parallel
+// engine's lanes when the backend declares a positive lookahead (the LGS
+// backend's wire latency L), and falls back to the proven serial engine
+// otherwise — congestion-aware backends (pkt, fluid) share fabric state and
+// have no safe lookahead. Results are independent of the worker count by
+// construction, and bit-identical to Run on the serial engine up to
+// same-timestamp cross-rank tie-breaking (see the ParEngine determinism
+// notes); the equivalence tests in internal/backend pin both properties
+// on LGS workloads.
+func RunParallel(workers int, s *goal.Schedule, be core.Backend, opts Options) (*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	la := core.LookaheadOf(be)
+	if workers > 1 && la > 0 && s.NumRanks() > 1 {
+		return Run(engine.NewParallel(s.NumRanks(), workers, la), s, be, opts)
+	}
+	return Run(engine.New(), s, be, opts)
 }

@@ -98,3 +98,35 @@ func UniformRandom(n, msgs int, bytes int64, seed uint64) *goal.Schedule {
 	}
 	return b.MustBuild()
 }
+
+// BulkSynchronous builds a BSP-style workload: `phases` rounds in which
+// every rank computes for calcNanos, then exchanges bytes with every other
+// rank (a full all-to-all), with each rank's round depending on its
+// previous round completing. The pattern keeps every rank busy in every
+// lookahead window, which makes it the reference workload for the parallel
+// engine's determinism tests and serial-vs-parallel benchmarks.
+func BulkSynchronous(n, phases int, bytes int64, calcNanos int64) *goal.Schedule {
+	b := goal.NewBuilder(n)
+	prev := make([][]goal.OpID, n)
+	for p := 0; p < phases; p++ {
+		next := make([][]goal.OpID, n)
+		for r := 0; r < n; r++ {
+			rb := b.Rank(r)
+			c := rb.Calc(calcNanos)
+			rb.Requires(c, prev[r]...)
+			for d := 0; d < n; d++ {
+				if d == r {
+					continue
+				}
+				tag := int32(p*n + r)
+				s := rb.Send(bytes, d, tag)
+				rb.Requires(s, c)
+				rv := b.Rank(d).Recv(bytes, r, tag)
+				next[d] = append(next[d], rv)
+			}
+			next[r] = append(next[r], c)
+		}
+		prev = next
+	}
+	return b.MustBuild()
+}
