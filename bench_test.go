@@ -33,7 +33,7 @@ func astraSimulate(tr *chakra.Trace) (*astra.Result, error) {
 
 func BenchmarkFig1C(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig1C(io.Discard, experiments.Quick); err != nil {
+		if _, err := experiments.Fig1C(io.Discard, experiments.Quick, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -41,7 +41,7 @@ func BenchmarkFig1C(b *testing.B) {
 
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table1(io.Discard, experiments.Quick); err != nil {
+		if _, err := experiments.Table1(io.Discard, experiments.Quick, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -49,7 +49,7 @@ func BenchmarkTable1(b *testing.B) {
 
 func BenchmarkFig8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig8(io.Discard, experiments.Quick); err != nil {
+		if _, err := experiments.Fig8(io.Discard, experiments.Quick, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -57,7 +57,7 @@ func BenchmarkFig8(b *testing.B) {
 
 func BenchmarkFig9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig9(io.Discard, experiments.Quick); err != nil {
+		if _, err := experiments.Fig9(io.Discard, experiments.Quick, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -65,7 +65,7 @@ func BenchmarkFig9(b *testing.B) {
 
 func BenchmarkFig10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig10(io.Discard, experiments.Quick); err != nil {
+		if _, err := experiments.Fig10(io.Discard, experiments.Quick, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -73,7 +73,7 @@ func BenchmarkFig10(b *testing.B) {
 
 func BenchmarkFig11(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig11(io.Discard, experiments.Quick); err != nil {
+		if _, err := experiments.Fig11(io.Discard, experiments.Quick, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -81,7 +81,7 @@ func BenchmarkFig11(b *testing.B) {
 
 func BenchmarkFig12(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig12(io.Discard, experiments.Quick); err != nil {
+		if _, err := experiments.Fig12(io.Discard, experiments.Quick, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -89,7 +89,7 @@ func BenchmarkFig12(b *testing.B) {
 
 func BenchmarkFig13(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig13(io.Discard, experiments.Quick); err != nil {
+		if _, err := experiments.Fig13(io.Discard, experiments.Quick, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,33 +1,27 @@
 // Command atlahs runs a GOAL schedule on a chosen network backend — the
-// toolchain's simulation entry point.
+// toolchain's simulation entry point, a thin shell over the sim facade.
 //
 // Usage:
 //
 //	atlahs -goal sched.bin [-backend lgs|pkt|fluid] [-params ai|hpc]
 //	       [-hosts-per-tor 4] [-oversub 1] [-cc mprdma] [-seed 1]
-//	       [-workers 1]
+//	       [-workers 1] [-progress 0]
 //
 // The GOAL file may be textual or binary (auto-detected). The lgs backend
 // is topology-oblivious; pkt and fluid build a two-level fat tree sized to
 // the schedule. -workers > 1 runs the lgs backend on the sharded parallel
-// engine (ranks spread across goroutines under the LogGOPS lookahead
-// window, results bit-identical to serial); pkt and fluid share fabric
-// state and always run serially.
+// engine (results bit-identical to serial); pkt and fluid share fabric
+// state, so asking them for workers is an error, not a silent fallback.
 package main
 
 import (
-	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"atlahs/internal/backend"
-	"atlahs/internal/engine"
-	"atlahs/internal/fluid"
-	"atlahs/internal/goal"
-	"atlahs/internal/pktnet"
-	"atlahs/internal/sched"
-	"atlahs/internal/topo"
+	"atlahs/sim"
 )
 
 func main() {
@@ -40,100 +34,84 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	calcScale := flag.Float64("calc-scale", 1.0, "hardware adaptation factor for calc times")
 	workers := flag.Int("workers", 1, "worker goroutines for the parallel engine (lgs only; 0 = GOMAXPROCS)")
+	progress := flag.Int64("progress", 0, "print progress every N completed ops (0 = off)")
 	flag.Parse()
 	if *goalPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	s, err := loadGoal(*goalPath)
+	spec := sim.Spec{
+		GoalPath:      *goalPath,
+		Backend:       *be,
+		CalcScale:     *calcScale,
+		Seed:          *seed,
+		Observer:      consoleObserver{},
+		ProgressEvery: *progress,
+	}
+	// The CLI's -workers 0 means "all cores"; the library's Workers 0 means
+	// serial.
+	if *workers == 0 {
+		spec.Workers = -1
+	} else {
+		spec.Workers = *workers
+	}
+	// Reject any non-serial worker request on a backend that cannot shard,
+	// regardless of how many cores this host happens to have (sim.Run only
+	// errors once the resolved count exceeds 1).
+	if def, ok := sim.Lookup(*be); ok && !def.Parallel && *workers != 1 {
+		fail(fmt.Errorf("backend %q shares fabric state and always runs serially; -workers %d is not available (use -workers 1)", *be, *workers))
+	}
+	switch *be {
+	case "lgs":
+		p := sim.AIParams()
+		if *params == "hpc" {
+			p = sim.HPCParams()
+		}
+		spec.Config = sim.LGSConfig{Params: p}
+	case "pkt":
+		spec.Config = sim.PktConfig{
+			HostsPerToR: *hostsPerToR,
+			Oversub:     *oversub,
+			CC:          *ccName,
+		}
+	case "fluid":
+		spec.Config = sim.FluidConfig{
+			HostsPerToR: *hostsPerToR,
+			Oversub:     *oversub,
+		}
+	}
+	// Unknown backend names fall through with a nil config: sim.Run reports
+	// them against the full registry.
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	res, err := sim.Run(ctx, spec)
 	if err != nil {
 		fail(err)
 	}
-	st := s.ComputeStats()
+	fmt.Printf("backend %s: simulated runtime %s\n", res.Backend, res.Runtime)
+}
+
+// consoleObserver renders run callbacks in the CLI's line format.
+type consoleObserver struct{ sim.NopObserver }
+
+func (consoleObserver) RunStarted(info sim.RunInfo) {
+	st := info.Stats
 	fmt.Printf("schedule: %d ranks, %d ops (%d sends, %d recvs, %d calcs), %.2f MiB on the wire\n",
 		st.Ranks, st.Ops, st.Sends, st.Recvs, st.Calcs, float64(st.SendBytes)/(1<<20))
-
-	var bk interface {
-		Name() string
+	if info.Parallel {
+		fmt.Printf("engine: parallel, %d workers\n", info.Workers)
 	}
-	var runErr error
-	var runtime string
-	switch *be {
-	case "lgs":
-		p := backend.AIParams()
-		if *params == "hpc" {
-			p = backend.HPCParams()
-		}
-		b := backend.NewLGS(p)
-		bk = b
-		res, err := sched.RunParallel(*workers, s, b, sched.Options{CalcScale: *calcScale})
-		runErr = err
-		if err == nil {
-			runtime = res.Runtime.String()
-		}
-	case "pkt":
-		tp, err := mkTopo(s.NumRanks(), *hostsPerToR, *oversub)
-		if err != nil {
-			fail(err)
-		}
-		b := backend.NewPkt(backend.PktConfig{
-			Net:    pktnet.Config{Topo: tp, CC: *ccName, Seed: *seed},
-			Params: backend.DefaultNetParams(),
-		})
-		bk = b
-		res, err := sched.Run(engine.New(), s, b, sched.Options{CalcScale: *calcScale})
-		runErr = err
-		if err == nil {
-			runtime = res.Runtime.String()
-			ns := b.NetStats()
-			fmt.Printf("packet stats: %d data pkts, %d drops, %d trims, %d retransmits\n",
-				ns.PktsSent, ns.Drops, ns.Trims, ns.Retransmits)
-		}
-	case "fluid":
-		tp, err := mkTopo(s.NumRanks(), *hostsPerToR, *oversub)
-		if err != nil {
-			fail(err)
-		}
-		b := backend.NewFluid(backend.FluidConfig{
-			Net:    fluid.Config{Topo: tp, Seed: *seed},
-			Params: backend.DefaultNetParams(),
-		})
-		bk = b
-		res, err := sched.Run(engine.New(), s, b, sched.Options{CalcScale: *calcScale})
-		runErr = err
-		if err == nil {
-			runtime = res.Runtime.String()
-		}
-	default:
-		fail(fmt.Errorf("unknown backend %q", *be))
-	}
-	if runErr != nil {
-		fail(runErr)
-	}
-	fmt.Printf("backend %s: simulated runtime %s\n", bk.Name(), runtime)
 }
 
-func mkTopo(ranks, hostsPerToR, oversub int) (*topo.Topology, error) {
-	cores := hostsPerToR / oversub
-	if cores < 1 {
-		cores = 1
-	}
-	return backend.FatTreeFor(ranks, hostsPerToR, cores, topo.DefaultLinkSpec())
+func (consoleObserver) Progress(ev sim.ProgressEvent) {
+	fmt.Printf("progress: %d/%d ops, sim time %v\n", ev.Done, ev.Total, ev.At)
 }
 
-func loadGoal(path string) (*goal.Schedule, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-	magic, err := br.Peek(6)
-	if err == nil && string(magic) == "GOALB1" {
-		return goal.ReadBinary(br)
-	}
-	return goal.ParseText(br)
+func (consoleObserver) NetStats(ns sim.NetStats) {
+	fmt.Printf("packet stats: %d data pkts, %d drops, %d trims, %d retransmits\n",
+		ns.PktsSent, ns.Drops, ns.Trims, ns.Retransmits)
 }
 
 func fail(err error) {

@@ -2,14 +2,33 @@
 // application-centric network simulator toolchain for AI, HPC and
 // distributed storage (Shen, Bonato et al., SC 2025).
 //
-// The toolchain lives under internal/: the GOAL intermediate format and
-// scheduler, three network backends (LogGOPS message-level, packet-level,
-// fluid flow-level), tracers and GOAL generators for the three application
-// domains, workload generators, and the experiment harness that
-// regenerates every table and figure of the paper's evaluation. See
-// README.md for a map and DESIGN.md for the architecture and substitution
-// notes.
+// The public API is the sim package — the facade every command, example
+// and service programs against. A sim.Spec declares the workload (GOAL
+// file, bytes, in-memory schedule, or synthetic pattern), names a backend
+// out of the registry ("lgs", "pkt", "fluid", or a third-party simulator
+// added with sim.Register), and sim.Run executes it, streaming op
+// completions and progress to an optional sim.Observer.
+//
+// The layers underneath, top to bottom:
+//
+//   - sim: the facade — declarative run specs, the backend registry,
+//     engine selection, observers.
+//   - internal/sched: the GOAL scheduler — walks every rank's task DAG and
+//     issues operations to a backend as dependencies resolve.
+//   - internal/core: the ATLAHS backend contract (paper Fig 7) — send,
+//     recv and calc events, completion callbacks, message matching,
+//     compute streams, the lookahead declaration.
+//   - internal/engine: the discrete-event cores — the serial Engine and
+//     the windowed, lane-sharded parallel ParEngine with its persistent
+//     worker pool.
+//
+// Around that spine sit the GOAL format (internal/goal), the three
+// backend implementations (internal/backend over internal/pktnet and
+// internal/fluid), trace ingestion (internal/trace/...), workload
+// generators (internal/workload/...), and the experiment harness that
+// regenerates the paper's evaluation (internal/experiments). See README.md
+// for a map and DESIGN.md for architecture and substitution notes.
 package atlahs
 
 // Version identifies this reproduction.
-const Version = "1.0.0"
+const Version = "1.1.0"

@@ -6,21 +6,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"atlahs/internal/backend"
 	"atlahs/internal/collective"
-	"atlahs/internal/engine"
-	"atlahs/internal/fluid"
-	"atlahs/internal/sched"
 	"atlahs/internal/simtime"
-	"atlahs/internal/topo"
 	"atlahs/internal/trace/schedgen"
 	"atlahs/internal/workload/hpcapps"
+	"atlahs/sim"
 )
 
 func main() {
+	ctx := context.Background()
 	tr, err := hpcapps.Generate(hpcapps.Config{App: hpcapps.HPCG, Ranks: 32, Steps: 4, Seed: 5})
 	if err != nil {
 		log.Fatal(err)
@@ -38,25 +36,32 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		lgsRes, err := sched.Run(engine.New(), sch, backend.NewLGS(backend.HPCParams()), sched.Options{})
+		lgsRes, err := sim.Run(ctx, sim.Spec{
+			Schedule: sch,
+			Backend:  "lgs",
+			Config:   sim.LGSConfig{Params: sim.HPCParams()},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 
 		// the fluid emulator plays the role of the measured system
-		spec := topo.LinkSpec{Latency: 600 * simtime.Nanosecond, PsPerByte: 180, BufBytes: 1 << 20}
-		tp, err := backend.FatTreeFor(32, 16, 1, spec)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fb := backend.NewFluid(backend.FluidConfig{
-			Net: fluid.Config{Topo: tp, Overhead: 1500 * simtime.Nanosecond, JitterFrac: 0.03, Seed: 6},
-			Params: backend.NetParams{
-				SendOverhead: 6 * simtime.Microsecond,
-				RecvOverhead: 6 * simtime.Microsecond,
+		fluidRes, err := sim.Run(ctx, sim.Spec{
+			Schedule: sch,
+			Backend:  "fluid",
+			Config: sim.FluidConfig{
+				HostsPerToR: 16,
+				Cores:       1,
+				Link:        sim.LinkSpec{Latency: 600 * simtime.Nanosecond, PsPerByte: 180, BufBytes: 1 << 20},
+				Overhead:    1500 * simtime.Nanosecond,
+				JitterFrac:  0.03,
+				Seed:        6,
+				Params: sim.NetParams{
+					SendOverhead: 6 * simtime.Microsecond,
+					RecvOverhead: 6 * simtime.Microsecond,
+				},
 			},
 		})
-		fluidRes, err := sched.Run(engine.New(), sch, fb, sched.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,23 +6,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"atlahs/internal/backend"
-	"atlahs/internal/engine"
-	"atlahs/internal/pktnet"
 	"atlahs/internal/placement"
-	"atlahs/internal/sched"
 	"atlahs/internal/simtime"
-	"atlahs/internal/topo"
 	"atlahs/internal/trace/ncclgoal"
 	"atlahs/internal/trace/schedgen"
 	"atlahs/internal/workload/hpcapps"
 	"atlahs/internal/workload/llm"
+	"atlahs/sim"
 )
 
 func main() {
+	ctx := context.Background()
 	// job A: data-parallel Llama training on 4 nodes (16 GPUs)
 	rep, err := llm.Generate(llm.Config{
 		Model: llm.Llama7B(),
@@ -63,15 +61,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		tp, err := backend.FatTreeFor(cluster, 4, 1, topo.DefaultLinkSpec())
-		if err != nil {
-			log.Fatal(err)
-		}
-		pb := backend.NewPkt(backend.PktConfig{
-			Net:    pktnet.Config{Topo: tp, CC: "mprdma", Seed: 9},
-			Params: backend.DefaultNetParams(),
+		res, err := sim.Run(ctx, sim.Spec{
+			Schedule: merged,
+			Backend:  "pkt",
+			Config:   sim.PktConfig{HostsPerToR: 4, Cores: 1, CC: "mprdma", Seed: 9},
 		})
-		res, err := sched.Run(engine.New(), merged, pb, sched.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

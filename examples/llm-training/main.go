@@ -8,19 +8,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"atlahs/internal/backend"
-	"atlahs/internal/engine"
-	"atlahs/internal/pktnet"
-	"atlahs/internal/sched"
-	"atlahs/internal/topo"
 	"atlahs/internal/trace/ncclgoal"
 	"atlahs/internal/workload/llm"
+	"atlahs/sim"
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := llm.Config{
 		Model: llm.Llama7B(),
 		Par:   llm.Parallelism{TP: 1, PP: 2, DP: 8, EP: 1, GlobalBatch: 32},
@@ -45,25 +43,20 @@ func main() {
 		fmt.Printf("\n%d GPUs/node -> %d nodes: %d GOAL ops, %.2f MiB inter-node traffic\n",
 			gpn, sch.NumRanks(), st.Ops, float64(st.SendBytes)/(1<<20))
 
-		lgsRes, err := sched.Run(engine.New(), sch, backend.NewLGS(backend.AIParams()), sched.Options{})
+		lgsRes, err := sim.Run(ctx, sim.Spec{Schedule: sch, Backend: "lgs"})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  ATLAHS LGS:  %v\n", lgsRes.Runtime)
 
-		tp, err := backend.FatTreeFor(sch.NumRanks(), 4, 4, topo.DefaultLinkSpec())
-		if err != nil {
-			log.Fatal(err)
-		}
-		pb := backend.NewPkt(backend.PktConfig{
-			Net:    pktnet.Config{Topo: tp, CC: "mprdma", Seed: 7},
-			Params: backend.DefaultNetParams(),
+		pktRes, err := sim.Run(ctx, sim.Spec{
+			Schedule: sch,
+			Backend:  "pkt",
+			Config:   sim.PktConfig{HostsPerToR: 4, Cores: 4, CC: "mprdma", Seed: 7},
 		})
-		pktRes, err := sched.Run(engine.New(), sch, pb, sched.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		ns := pb.NetStats()
-		fmt.Printf("  ATLAHS pkt:  %v (%d packets, %d drops)\n", pktRes.Runtime, ns.PktsSent, ns.Drops)
+		fmt.Printf("  ATLAHS pkt:  %v (%d packets, %d drops)\n", pktRes.Runtime, pktRes.Net.PktsSent, pktRes.Net.Drops)
 	}
 }

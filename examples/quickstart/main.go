@@ -1,18 +1,18 @@
-// Quickstart: build a GOAL schedule with the builder API, run it on the
-// LogGOPS message-level backend, and print the simulated runtime.
+// Quickstart: build a GOAL schedule with the builder API, run it through
+// the sim facade on the LogGOPS message-level backend, and print the
+// simulated runtime.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"atlahs/internal/backend"
-	"atlahs/internal/engine"
 	"atlahs/internal/goal"
-	"atlahs/internal/sched"
+	"atlahs/sim"
 )
 
 func main() {
@@ -50,9 +50,13 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Simulate on the LogGOPS backend with the paper's AI parameters
-	// (L=3.7us, o=200ns, G=0.04ns/B).
-	res, err := sched.Run(engine.New(), s, backend.NewLGS(backend.AIParams()), sched.Options{})
+	// Simulate through the facade on the LogGOPS backend with the paper's
+	// AI parameters (L=3.7us, o=200ns, G=0.04ns/B).
+	res, err := sim.Run(context.Background(), sim.Spec{
+		Schedule: s,
+		Backend:  "lgs",
+		Config:   sim.LGSConfig{Params: sim.AIParams()},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,20 +7,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"atlahs/internal/backend"
-	"atlahs/internal/engine"
-	"atlahs/internal/pktnet"
-	"atlahs/internal/sched"
-	"atlahs/internal/stats"
 	"atlahs/internal/storage/directdrive"
-	"atlahs/internal/topo"
 	"atlahs/internal/trace/spc"
+	"atlahs/sim"
 )
 
 func main() {
+	ctx := context.Background()
 	trace := spc.GenerateFinancial(spc.FinancialConfig{Ops: 2000, Seed: 42})
 	st := trace.ComputeStats()
 	fmt.Printf("trace: %d ops, %.0f%% writes, mean request %.0f B, %.1f ms span\n",
@@ -34,22 +31,23 @@ func main() {
 
 	for _, cc := range []string{"mprdma", "ndp"} {
 		// 8:1 oversubscribed two-level fat tree
-		tp, err := backend.FatTreeFor(sch.NumRanks(), 8, 1, topo.DefaultLinkSpec())
+		mct := &sim.Sample{}
+		res, err := sim.Run(ctx, sim.Spec{
+			Schedule: sch,
+			Backend:  "pkt",
+			Config: sim.PktConfig{
+				HostsPerToR: 8,
+				Cores:       1,
+				CC:          cc,
+				Seed:        1,
+				MCT:         mct,
+			},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		mct := &stats.Sample{}
-		pb := backend.NewPkt(backend.PktConfig{
-			Net:    pktnet.Config{Topo: tp, CC: cc, Seed: 1},
-			Params: backend.DefaultNetParams(),
-		})
-		pb.AttachMCT(mct)
-		if _, err := sched.Run(engine.New(), sch, pb, sched.Options{}); err != nil {
-			log.Fatal(err)
-		}
-		ns := pb.NetStats()
 		fmt.Printf("%-7s mean MCT %6.2f µs   p99 %7.2f µs   max %7.2f µs   (drops %d, trims %d)\n",
-			cc, mct.Mean(), mct.Percentile(99), mct.Max(), ns.Drops, ns.Trims)
+			cc, mct.Mean(), mct.Percentile(99), mct.Max(), res.Net.Drops, res.Net.Trims)
 	}
 	fmt.Println("\nreceiver-driven NDP cannot see congestion away from the receiver, so its")
 	fmt.Println("tail latency degrades under core oversubscription (paper Fig 11).")

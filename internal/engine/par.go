@@ -230,11 +230,19 @@ func (p *ParEngine) Reset() {
 
 // Run implements Sim: windowed conservative parallel execution until every
 // lane drains or Stop is called. Returns the time of the last executed
-// event.
+// event. Worker goroutines are spawned once here and fed windows through a
+// channel, rather than spawned per window: long simulations with a small
+// lookahead execute many thousands of windows, and the per-window
+// spawn/join overhead was measurable (see BenchmarkParEngineVsSerial).
 func (p *ParEngine) Run() simtime.Time {
 	p.running = true
 	p.stop.Store(false)
 	defer func() { p.running = false }()
+	var pool *winPool
+	if p.workers > 1 && len(p.lanes) > 1 {
+		pool = newWinPool(p.workers)
+		defer pool.close()
+	}
 	active := make([]*lane, 0, len(p.lanes))
 	for !p.stop.Load() {
 		// The window base is the earliest pending event anywhere; every
@@ -258,7 +266,7 @@ func (p *ParEngine) Run() simtime.Time {
 				active = append(active, l)
 			}
 		}
-		p.runWindow(active, windowEnd)
+		p.runWindow(pool, active, windowEnd)
 		// Barrier: deliver buffered cross-lane events. Heap order is fully
 		// determined by the per-event keys, so delivery order is irrelevant.
 		for _, l := range p.lanes {
@@ -277,46 +285,99 @@ func (p *ParEngine) Run() simtime.Time {
 }
 
 // runWindow executes every active lane up to (strictly before) end,
-// spreading lanes across worker goroutines.
-func (p *ParEngine) runWindow(active []*lane, end simtime.Time) {
+// spreading lanes across the pool's persistent worker goroutines.
+func (p *ParEngine) runWindow(pool *winPool, active []*lane, end simtime.Time) {
 	nw := p.workers
 	if nw > len(active) {
 		nw = len(active)
 	}
-	if nw <= 1 {
+	if pool == nil || nw <= 1 {
 		for _, l := range active {
 			l.runTo(end)
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	panics := make(chan interface{}, nw)
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panics <- r
-				}
-			}()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= len(active) {
-					return
-				}
-				active[i].runTo(end)
-			}
-		}()
+	pool.dispatch(nw, active, end)
+}
+
+// winPool is the persistent window-execution pool: its goroutines live for
+// the whole Run and pick up one window after another, so the steady-state
+// per-window cost is channel wakeups instead of goroutine spawns. The
+// window description lives on the pool (published before the wakeup sends,
+// collected after the barrier), so dispatching allocates nothing.
+type winPool struct {
+	// jobs carries one wakeup token per participating worker per window;
+	// closing it retires the pool.
+	jobs chan struct{}
+	// active/end describe the current window; written by the coordinator
+	// before the wakeup sends and read by workers after receiving one.
+	active []*lane
+	end    simtime.Time
+	// next is the shared lane-stealing cursor.
+	next atomic.Int64
+	// wg is the window barrier.
+	wg sync.WaitGroup
+	// panics collects worker panics for rethrow on the coordinator.
+	panics chan interface{}
+}
+
+// newWinPool starts `workers` persistent window workers.
+func newWinPool(workers int) *winPool {
+	wp := &winPool{
+		jobs:   make(chan struct{}, workers),
+		panics: make(chan interface{}, workers),
 	}
-	wg.Wait()
+	for w := 0; w < workers; w++ {
+		go wp.worker()
+	}
+	return wp
+}
+
+// worker processes window wakeups until the pool closes.
+func (wp *winPool) worker() {
+	for range wp.jobs {
+		wp.runShard()
+		wp.wg.Done()
+	}
+}
+
+// runShard steals lanes off the current window until none remain.
+func (wp *winPool) runShard() {
+	defer func() {
+		if r := recover(); r != nil {
+			wp.panics <- r
+		}
+	}()
+	for {
+		i := int(wp.next.Add(1) - 1)
+		if i >= len(wp.active) {
+			return
+		}
+		wp.active[i].runTo(wp.end)
+	}
+}
+
+// dispatch runs one window across nw workers and blocks until the barrier.
+// A worker panic is rethrown here, after the remaining workers finish, so
+// the engine's failure mode matches the old spawn-per-window behaviour.
+func (wp *winPool) dispatch(nw int, active []*lane, end simtime.Time) {
+	wp.active, wp.end = active, end
+	wp.next.Store(0)
+	wp.wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		wp.jobs <- struct{}{}
+	}
+	wp.wg.Wait()
+	wp.active = nil
 	select {
-	case r := <-panics:
+	case r := <-wp.panics:
 		panic(r)
 	default:
 	}
 }
+
+// close retires the pool's goroutines.
+func (wp *winPool) close() { close(wp.jobs) }
 
 // runTo executes the lane's events with timestamps strictly before end.
 func (l *lane) runTo(end simtime.Time) {

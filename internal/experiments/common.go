@@ -9,19 +9,18 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"atlahs/internal/backend"
-	"atlahs/internal/engine"
-	"atlahs/internal/fluid"
 	"atlahs/internal/goal"
 	"atlahs/internal/pktnet"
-	"atlahs/internal/sched"
 	"atlahs/internal/simtime"
 	"atlahs/internal/stats"
 	"atlahs/internal/topo"
+	"atlahs/sim"
 )
 
 // Mode selects experiment sizing: Quick keeps everything test-sized; Full
@@ -87,15 +86,18 @@ func HPCDomain() Domain {
 	}
 }
 
-// RunLGS simulates s on the LogGOPS backend and reports simulated runtime
-// plus wall-clock simulation time.
+// RunLGS simulates s on the LogGOPS backend through the sim facade and
+// reports simulated runtime plus wall-clock simulation time.
 func RunLGS(s *goal.Schedule, p backend.LogGOPS) (simtime.Duration, time.Duration, error) {
-	start := time.Now()
-	res, err := sched.Run(engine.New(), s, backend.NewLGS(p), sched.Options{})
+	res, err := sim.Run(context.Background(), sim.Spec{
+		Schedule: s,
+		Backend:  "lgs",
+		Config:   sim.LGSConfig{Params: p},
+	})
 	if err != nil {
 		return 0, 0, err
 	}
-	return res.Runtime, time.Since(start), nil
+	return res.Runtime, res.Wall, nil
 }
 
 // PktRun bundles the packet-backend results.
@@ -108,23 +110,27 @@ type PktRun struct {
 }
 
 // RunPkt simulates s on the packet-level backend over the given topology
-// and congestion control, collecting MCT samples.
+// and congestion control through the sim facade, collecting MCT samples.
 func RunPkt(s *goal.Schedule, tp *topo.Topology, ccName string, seed uint64, dom Domain) (*PktRun, error) {
 	mct := &stats.Sample{}
-	pb := backend.NewPkt(backend.PktConfig{
-		Net:    pktnet.Config{Topo: tp, CC: ccName, Seed: seed},
-		Params: dom.Params,
+	res, err := sim.Run(context.Background(), sim.Spec{
+		Schedule: s,
+		Backend:  "pkt",
+		Config: sim.PktConfig{
+			Topo:   tp,
+			CC:     ccName,
+			Seed:   seed,
+			Params: dom.Params,
+			MCT:    mct,
+		},
 	})
-	pb.AttachMCT(mct)
-	start := time.Now()
-	res, err := sched.Run(engine.New(), s, pb, sched.Options{})
 	if err != nil {
 		return nil, err
 	}
 	return &PktRun{
 		Runtime: res.Runtime,
-		Wall:    time.Since(start),
-		Stats:   pb.NetStats(),
+		Wall:    res.Wall,
+		Stats:   *res.Net,
 		MCT:     mct,
 		RankEnd: res.RankEnd,
 	}, nil
@@ -134,16 +140,17 @@ func RunPkt(s *goal.Schedule, tp *topo.Topology, ccName string, seed uint64, dom
 // the validation experiments (see DESIGN.md substitution table). Jitter
 // and per-message overhead emulate system noise deterministically.
 func RunFluid(s *goal.Schedule, tp *topo.Topology, seed uint64, dom Domain) (simtime.Duration, []simtime.Time, error) {
-	fb := backend.NewFluid(backend.FluidConfig{
-		Net: fluid.Config{
+	res, err := sim.Run(context.Background(), sim.Spec{
+		Schedule: s,
+		Backend:  "fluid",
+		Config: sim.FluidConfig{
 			Topo:       tp,
 			Overhead:   dom.TestbedOverhead,
 			JitterFrac: 0.03,
 			Seed:       seed,
+			Params:     dom.Params,
 		},
-		Params: dom.Params,
 	})
-	res, err := sched.Run(engine.New(), s, fb, sched.Options{})
 	if err != nil {
 		return 0, nil, err
 	}

@@ -8,7 +8,7 @@ import (
 
 func TestFig1CQuick(t *testing.T) {
 	var sb strings.Builder
-	res, err := Fig1C(&sb, Quick)
+	res, err := Fig1C(&sb, Quick, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestFig1CQuick(t *testing.T) {
 
 func TestTable1Quick(t *testing.T) {
 	var sb strings.Builder
-	res, err := Table1(&sb, Quick)
+	res, err := Table1(&sb, Quick, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestTable1Quick(t *testing.T) {
 
 func TestFig8Quick(t *testing.T) {
 	var sb strings.Builder
-	res, err := Fig8(&sb, Quick)
+	res, err := Fig8(&sb, Quick, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestFig8Quick(t *testing.T) {
 }
 
 func TestFig9Quick(t *testing.T) {
-	res, err := Fig9(io.Discard, Quick)
+	res, err := Fig9(io.Discard, Quick, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestFig9Quick(t *testing.T) {
 
 func TestFig10Quick(t *testing.T) {
 	var sb strings.Builder
-	res, err := Fig10(&sb, Quick)
+	res, err := Fig10(&sb, Quick, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestFig10Quick(t *testing.T) {
 
 func TestFig11Quick(t *testing.T) {
 	var sb strings.Builder
-	res, err := Fig11(&sb, Quick)
+	res, err := Fig11(&sb, Quick, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestFig11Quick(t *testing.T) {
 
 func TestFig12Quick(t *testing.T) {
 	var sb strings.Builder
-	res, err := Fig12(&sb, Quick)
+	res, err := Fig12(&sb, Quick, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestFig12Quick(t *testing.T) {
 
 func TestFig13Quick(t *testing.T) {
 	var sb strings.Builder
-	res, err := Fig13(&sb, Quick)
+	res, err := Fig13(&sb, Quick, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

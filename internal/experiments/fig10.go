@@ -62,8 +62,10 @@ func fig10Cases(mode Mode) []struct {
 // against the measured runtime of six scientific applications across weak-
 // and strong-scaling configurations. The paper's testbed is a 188-node
 // CSCS cluster; here the fluid emulator plays that role (see DESIGN.md),
-// with each MPI process on its own simulated endpoint.
-func Fig10(w io.Writer, mode Mode) (*Fig10Result, error) {
+// with each MPI process on its own simulated endpoint. Configuration
+// points fan out across up to `workers` goroutines; rows land at their
+// index and print in order, so output is identical for any budget.
+func Fig10(w io.Writer, mode Mode, workers int) (*Fig10Result, error) {
 	header(w, "Fig 10 — HPC validation: measured vs predicted application runtime")
 	res := &Fig10Result{}
 	dom := HPCDomain()
@@ -73,46 +75,55 @@ func Fig10(w io.Writer, mode Mode) (*Fig10Result, error) {
 	}
 	fmt.Fprintf(w, "%-12s %-12s %12s %7s %22s %22s\n",
 		"app", "procs/nodes", "measured", "comp%", "LGS (err%)", "pkt (err%)")
-	for i, c := range fig10Cases(mode) {
+	cases := fig10Cases(mode)
+	rows := make([]Fig10Row, len(cases))
+	err := ForEach(workers, len(cases), func(i int) error {
+		c := cases[i]
 		tr, err := hpcapps.Generate(hpcapps.Config{
 			App: c.app, Ranks: c.procs, Steps: steps, Seed: uint64(100 + i), ScaleBytes: 0.5,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %s: %w", c.app, err)
+			return fmt.Errorf("fig10 %s: %w", c.app, err)
 		}
 		sch, err := schedgen.Generate(tr, schedgen.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %s schedgen: %w", c.app, err)
+			return fmt.Errorf("fig10 %s schedgen: %w", c.app, err)
 		}
 		tpM, err := FatTree(c.procs, 16, 1, dom)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		measured, _, err := RunFluid(sch, tpM, uint64(200+i), dom)
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %s measured: %w", c.app, err)
+			return fmt.Errorf("fig10 %s measured: %w", c.app, err)
 		}
 		row := Fig10Row{App: string(c.app), Procs: c.procs, Nodes: c.nodes, Measured: measured}
 		row.ComputePct = 100 * float64(ComputeOnlyRuntime(sch)) / float64(measured)
 
 		lgs, _, err := RunLGS(sch, backend.HPCParams())
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %s lgs: %w", c.app, err)
+			return fmt.Errorf("fig10 %s lgs: %w", c.app, err)
 		}
 		row.LGS = lgs
 		row.LGSErrPct = PercentErr(lgs, measured)
 
 		tpP, err := FatTree(c.procs, 16, 1, dom)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pkt, err := RunPkt(sch, tpP, "mprdma", uint64(300+i), dom)
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %s pkt: %w", c.app, err)
+			return fmt.Errorf("fig10 %s pkt: %w", c.app, err)
 		}
 		row.Pkt = pkt.Runtime
 		row.PktErrPct = PercentErr(pkt.Runtime, measured)
-
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		for _, e := range []float64{row.LGSErrPct, row.PktErrPct} {
 			if a := abs(e); a > res.MaxAbsErrPct {
 				res.MaxAbsErrPct = a

@@ -33,7 +33,7 @@ type Fig11Result struct {
 // an 8:1 oversubscribed fat tree. Receiver-driven control cannot see
 // in-network congestion away from the receiver, so NDP's tail degrades
 // under oversubscription.
-func Fig11(w io.Writer, mode Mode) (*Fig11Result, error) {
+func Fig11(w io.Writer, mode Mode, workers int) (*Fig11Result, error) {
 	header(w, "Fig 11 — storage MCT under different CC algorithms and topologies")
 	ops := 5000
 	hosts := 8

@@ -34,7 +34,7 @@ type Fig12Result struct {
 // training job's nodes are interleaved across ToRs as real schedulers
 // allocate them, pushing the DP ring through the core. The packet-drop
 // counter is the statistic only packet-level simulation provides.
-func Fig12(w io.Writer, mode Mode) (*Fig12Result, error) {
+func Fig12(w io.Writer, mode Mode, workers int) (*Fig12Result, error) {
 	header(w, "Fig 12 — ATLAHS LGS vs ATLAHS packet backend under oversubscription")
 	dom := AIDomain()
 	dp := 64

@@ -31,7 +31,7 @@ type Fig13Result struct {
 // Packed allocation keeps each job's traffic local to its ToRs; random
 // allocation forces it through the oversubscribed core, inflating the
 // communication-bound job's runtime far more than the compute-bound one.
-func Fig13(w io.Writer, mode Mode) (*Fig13Result, error) {
+func Fig13(w io.Writer, mode Mode, workers int) (*Fig13Result, error) {
 	header(w, "Fig 13 — job placement: packed vs random allocation")
 	dom := AIDomain()
 	llamaNodes := 8

@@ -33,7 +33,7 @@ type Fig1CResult struct {
 // congesting multi-hop paths shared with PP victim flows (Fig 1B) —
 // exposes Swift's weakness: its single end-to-end delay measurement cannot
 // localise the congested hop.
-func Fig1C(w io.Writer, mode Mode) (*Fig1CResult, error) {
+func Fig1C(w io.Writer, mode Mode, workers int) (*Fig1CResult, error) {
 	header(w, "Fig 1C — CC algorithms: synthetic microbenchmarks vs LLM training traffic")
 	dom := AIDomain()
 

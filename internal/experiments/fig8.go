@@ -67,8 +67,10 @@ type Fig8Result struct {
 // Fig8 reproduces the AI validation (paper Fig 8): measured iteration time
 // versus ATLAHS LGS, ATLAHS packet-level and the AstraSim-lite baseline
 // across six LLM configurations, plus the simulation wall-clock comparison
-// reported in §5.2 (LGS 13.9x/2.7x faster than AstraSim).
-func Fig8(w io.Writer, mode Mode) (*Fig8Result, error) {
+// reported in §5.2 (LGS 13.9x/2.7x faster than AstraSim). Configuration
+// points fan out across up to `workers` goroutines; simulated results are
+// identical for any budget.
+func Fig8(w io.Writer, mode Mode, workers int) (*Fig8Result, error) {
 	header(w, "Fig 8 — AI validation: measured vs predicted training-iteration time")
 	res := &Fig8Result{}
 	fmt.Fprintf(w, "%-38s %12s %7s %22s %22s %s\n",
@@ -79,7 +81,7 @@ func Fig8(w io.Writer, mode Mode) (*Fig8Result, error) {
 	// Every configuration is an isolated simulation stack (own engines,
 	// seeds, topologies), so the sweep fans out across the worker budget;
 	// rows land at their index and print in order below.
-	err := ForEach(Workers(), len(cases), func(i int) error {
+	err := ForEach(workers, len(cases), func(i int) error {
 		c := cases[i]
 		rep, err := llm.Generate(llm.Config{Model: c.Model, Par: c.Par, Scale: c.Scale, Seed: uint64(40 + i)})
 		if err != nil {

@@ -25,7 +25,7 @@ type Fig9Result struct {
 // Fig9 reproduces the trace-size comparison (paper Fig 9): the binary GOAL
 // files ATLAHS simulates from are consistently smaller than the Chakra
 // execution traces AstraSim consumes (1.8x-10.6x in the paper).
-func Fig9(w io.Writer, mode Mode) (*Fig9Result, error) {
+func Fig9(w io.Writer, mode Mode, workers int) (*Fig9Result, error) {
 	header(w, "Fig 9 — trace size: GOAL vs Chakra")
 	res := &Fig9Result{}
 	fmt.Fprintf(w, "%-38s %12s %12s %8s\n", "configuration", "GOAL (MiB)", "Chakra (MiB)", "ratio")

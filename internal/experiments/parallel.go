@@ -9,25 +9,6 @@ import (
 	"sync/atomic"
 )
 
-// sweepWorkers is the goroutine budget for per-figure configuration-point
-// fan-out (see ForEach). Defaults to 1 so library users and tests keep
-// fully serial behaviour unless they opt in via SetWorkers.
-var sweepWorkers atomic.Int32
-
-func init() { sweepWorkers.Store(1) }
-
-// SetWorkers sets the goroutine budget used by experiment sweeps for their
-// independent configuration points. n <= 0 selects GOMAXPROCS.
-func SetWorkers(n int) {
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
-	}
-	sweepWorkers.Store(int32(n))
-}
-
-// Workers reports the current sweep budget.
-func Workers() int { return int(sweepWorkers.Load()) }
-
 // ForEach runs fn(i) for every i in [0, n) across up to `workers`
 // goroutines and returns the first error (by index order among the points
 // that ran). A failure stops new points from starting — in-flight ones
@@ -81,26 +62,28 @@ func Names() []string {
 	return []string{"fig1c", "table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
 }
 
-// runners maps experiment names to their generator functions.
-var runners = map[string]func(io.Writer, Mode) error{
-	"fig1c":  func(w io.Writer, m Mode) error { _, err := Fig1C(w, m); return err },
-	"table1": func(w io.Writer, m Mode) error { _, err := Table1(w, m); return err },
-	"fig8":   func(w io.Writer, m Mode) error { _, err := Fig8(w, m); return err },
-	"fig9":   func(w io.Writer, m Mode) error { _, err := Fig9(w, m); return err },
-	"fig10":  func(w io.Writer, m Mode) error { _, err := Fig10(w, m); return err },
-	"fig11":  func(w io.Writer, m Mode) error { _, err := Fig11(w, m); return err },
-	"fig12":  func(w io.Writer, m Mode) error { _, err := Fig12(w, m); return err },
-	"fig13":  func(w io.Writer, m Mode) error { _, err := Fig13(w, m); return err },
+// runners maps experiment names to their generator functions. Every
+// generator takes the sweep budget for its own configuration-point
+// fan-out, so no worker state lives outside the call stack.
+var runners = map[string]func(io.Writer, Mode, int) error{
+	"fig1c":  func(w io.Writer, m Mode, workers int) error { _, err := Fig1C(w, m, workers); return err },
+	"table1": func(w io.Writer, m Mode, workers int) error { _, err := Table1(w, m, workers); return err },
+	"fig8":   func(w io.Writer, m Mode, workers int) error { _, err := Fig8(w, m, workers); return err },
+	"fig9":   func(w io.Writer, m Mode, workers int) error { _, err := Fig9(w, m, workers); return err },
+	"fig10":  func(w io.Writer, m Mode, workers int) error { _, err := Fig10(w, m, workers); return err },
+	"fig11":  func(w io.Writer, m Mode, workers int) error { _, err := Fig11(w, m, workers); return err },
+	"fig12":  func(w io.Writer, m Mode, workers int) error { _, err := Fig12(w, m, workers); return err },
+	"fig13":  func(w io.Writer, m Mode, workers int) error { _, err := Fig13(w, m, workers); return err },
 }
 
 // RunAll regenerates the named experiments (all of them when names is
 // empty), fanning independent experiments across up to `workers`
 // goroutines (workers <= 0 means GOMAXPROCS). The worker budget is split
 // between the two fan-out levels — experiments here, configuration points
-// inside each experiment (SetWorkers) — so total concurrency stays near
-// `workers` instead of multiplying; the previous sweep budget is restored
-// on return. The budget lives in a package global, so RunAll is not
-// reentrant: run one evaluation at a time per process.
+// inside each experiment — so total concurrency stays near `workers`
+// instead of multiplying. The budget is threaded through every call, so
+// RunAll is reentrant: concurrent evaluations in one process do not
+// interfere.
 //
 // With one outer worker, experiments stream straight to w as they
 // compute; with more, each experiment writes into its own buffer and
@@ -128,13 +111,10 @@ func RunAll(w io.Writer, mode Mode, workers int, names []string) error {
 	if inner < 1 {
 		inner = 1
 	}
-	prev := Workers()
-	SetWorkers(inner)
-	defer SetWorkers(prev)
 	if outer <= 1 {
 		// Serial outer level: stream incrementally, as the CLI always has.
 		for _, name := range names {
-			if err := runners[name](w, mode); err != nil {
+			if err := runners[name](w, mode, inner); err != nil {
 				return fmt.Errorf("experiment %s failed: %w", name, err)
 			}
 		}
@@ -155,7 +135,7 @@ func RunAll(w io.Writer, mode Mode, workers int, names []string) error {
 	}
 	done := make([]bool, len(names))
 	err := ForEach(outer, len(names), func(i int) error {
-		ferr := runners[names[i]](&bufs[i], mode)
+		ferr := runners[names[i]](&bufs[i], mode, inner)
 		mu.Lock()
 		done[i] = true
 		flush(done)

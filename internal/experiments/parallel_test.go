@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -52,7 +53,6 @@ func TestRunAllParallelMatchesSerial(t *testing.T) {
 	names := []string{"fig1c", "fig9", "fig12"}
 	run := func(workers int) string {
 		t.Helper()
-		defer SetWorkers(1)
 		var buf bytes.Buffer
 		if err := RunAll(&buf, Quick, workers, names); err != nil {
 			t.Fatal(err)
@@ -79,9 +79,7 @@ func TestFig8ParallelPoints(t *testing.T) {
 	}
 	run := func(workers int) *Fig8Result {
 		t.Helper()
-		SetWorkers(workers)
-		defer SetWorkers(1)
-		res, err := Fig8(io.Discard, Quick)
+		res, err := Fig8(io.Discard, Quick, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -105,5 +103,72 @@ func TestFig8ParallelPoints(t *testing.T) {
 func TestRunAllRejectsUnknownName(t *testing.T) {
 	if err := RunAll(io.Discard, Quick, 2, []string{"fig99"}); err == nil {
 		t.Fatal("expected unknown-experiment error")
+	}
+}
+
+// TestFig10ParallelPoints: Fig 10's configuration points fanned out across
+// workers must produce the same rows and output as the serial sweep (no
+// wall-clock fields to exclude — Fig 10 prints only simulated values).
+func TestFig10ParallelPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full fig10 sweeps")
+	}
+	run := func(workers int) (*Fig10Result, string) {
+		t.Helper()
+		var buf bytes.Buffer
+		res, err := Fig10(&buf, Quick, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.String()
+	}
+	serial, serialOut := run(1)
+	parallel, parallelOut := run(3)
+	if serialOut != parallelOut {
+		t.Fatalf("fig10 output diverged:\n--- serial ---\n%s\n--- parallel ---\n%s", serialOut, parallelOut)
+	}
+	if len(serial.Rows) != len(parallel.Rows) {
+		t.Fatalf("row count %d vs %d", len(parallel.Rows), len(serial.Rows))
+	}
+	for i := range serial.Rows {
+		if serial.Rows[i] != parallel.Rows[i] {
+			t.Fatalf("row %d diverged:\nserial:   %+v\nparallel: %+v", i, parallel.Rows[i], serial.Rows[i])
+		}
+	}
+}
+
+// TestRunAllIsReentrant: with the sweep budget threaded through calls
+// instead of living in a package global, concurrent evaluations in one
+// process must not interfere — every run's output equals a lone serial
+// run's.
+func TestRunAllIsReentrant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several quick-suite runs")
+	}
+	names := []string{"fig1c", "fig9"}
+	var want bytes.Buffer
+	if err := RunAll(&want, Quick, 1, names); err != nil {
+		t.Fatal(err)
+	}
+	const concurrent = 3
+	outs := make([]bytes.Buffer, concurrent)
+	errs := make([]error, concurrent)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = RunAll(&outs[i], Quick, 2, names)
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < concurrent; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if outs[i].String() != want.String() {
+			t.Fatalf("concurrent run %d diverged from the serial run", i)
+		}
 	}
 }

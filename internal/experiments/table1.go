@@ -38,7 +38,7 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // report / MPI trace) versus the generated binary GOAL file. Byte counts
 // are scaled (recorded per row in the config column); the comparison
 // target is the relative size of GOAL versus the raw traces.
-func Table1(w io.Writer, mode Mode) (*Table1Result, error) {
+func Table1(w io.Writer, mode Mode, workers int) (*Table1Result, error) {
 	header(w, "Table 1 — trace and GOAL sizes per application/configuration")
 	res := &Table1Result{}
 

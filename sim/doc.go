@@ -1,0 +1,31 @@
+// Package sim is the public facade of the ATLAHS toolchain: the one way to
+// run a simulation. A declarative Spec names the workload (a GOAL schedule
+// from a file, raw bytes, an in-memory schedule, or a synthetic traffic
+// generator), the backend (resolved through a registry that third-party
+// simulators can join via Register), and the execution knobs (worker
+// budget, calc scaling, seed). Run executes the spec, picking the serial or
+// sharded parallel engine from the backend's declared lookahead, and
+// streams op completions, periodic progress and backend network counters to
+// an optional Observer.
+//
+// The layering is strict: sim (this package, the entry point) sits on
+// internal/sched (the GOAL dependency scheduler), which drives any
+// internal/core.Backend, which schedules its events on internal/engine (the
+// serial and parallel discrete-event cores). Commands and examples program
+// exclusively against sim; nothing above this package touches the scheduler
+// or engines directly (CI enforces the boundary).
+//
+// Minimal use:
+//
+//	res, err := sim.Run(ctx, sim.Spec{
+//		Synthetic: &sim.Synthetic{Pattern: "alltoall", Ranks: 64, Bytes: 1 << 16},
+//		Backend:   "lgs",
+//		Workers:   4,
+//	})
+//
+// Any simulator honouring the ATLAHS backend contract (paper Fig 7) can be
+// plugged in behind the same schedule:
+//
+//	sim.Register(sim.Definition{Name: "mysim", New: newMySim})
+//	res, err := sim.Run(ctx, sim.Spec{GoalPath: "trace.bin", Backend: "mysim"})
+package sim

@@ -1,0 +1,78 @@
+package sim
+
+import "atlahs/internal/pktnet"
+
+// RunInfo describes a run as it starts, after the workload and backend are
+// resolved.
+type RunInfo struct {
+	// Backend is the resolved backend name.
+	Backend string
+	// Stats is the schedule's size accounting (ranks, ops, bytes on the
+	// wire, ...).
+	Stats ScheduleStats
+	// Workers is the resolved worker count (1 when running serially).
+	Workers int
+	// Parallel reports whether the run executes on the sharded parallel
+	// engine.
+	Parallel bool
+}
+
+// OpEvent reports one GOAL op's semantic completion.
+type OpEvent struct {
+	// Rank and Op locate the op in the schedule.
+	Rank int
+	Op   int32
+	// Kind is the op's kind (calc, send, recv).
+	Kind OpKind
+	// At is the simulated completion time.
+	At Time
+}
+
+// ProgressEvent is the periodic progress callback (every
+// Spec.ProgressEvery completed ops).
+type ProgressEvent struct {
+	// Done and Total count completed and scheduled ops.
+	Done, Total int64
+	// At is the simulated time of the completion that triggered the event.
+	At Time
+}
+
+// NetStats are the packet-level fabric counters (data packets, drops,
+// trims, retransmits, ...), reported by backends that track them (pkt).
+// Message-level and fluid backends have none — exactly the fidelity trade
+// the paper's Fig 12 makes.
+type NetStats = pktnet.Stats
+
+// Observer receives streaming callbacks from a run, replacing ad-hoc
+// printing: commands and services render op completions, progress and
+// network counters however they like. With Spec.Workers > 1, OpCompleted
+// and Progress are invoked concurrently from engine worker goroutines;
+// implementations must be safe for concurrent use. All callbacks happen
+// before Run returns. Embed NopObserver to implement only the methods you
+// care about.
+type Observer interface {
+	// RunStarted fires once, before the first event executes.
+	RunStarted(RunInfo)
+	// OpCompleted fires for every GOAL op at its semantic completion.
+	OpCompleted(OpEvent)
+	// Progress fires every Spec.ProgressEvery completed ops (never when
+	// ProgressEvery is 0).
+	Progress(ProgressEvent)
+	// NetStats fires once after the run for backends with fabric counters.
+	NetStats(NetStats)
+}
+
+// NopObserver implements Observer with no-ops, for embedding.
+type NopObserver struct{}
+
+// RunStarted implements Observer.
+func (NopObserver) RunStarted(RunInfo) {}
+
+// OpCompleted implements Observer.
+func (NopObserver) OpCompleted(OpEvent) {}
+
+// Progress implements Observer.
+func (NopObserver) Progress(ProgressEvent) {}
+
+// NetStats implements Observer.
+func (NopObserver) NetStats(NetStats) {}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"atlahs/internal/core"
+)
+
+// Env is the per-run context handed to a backend factory: everything a
+// backend may need that only becomes known once the workload is resolved.
+type Env struct {
+	// Ranks is the schedule's rank count (= simulated nodes). Backends that
+	// model a fabric size their topology to cover it.
+	Ranks int
+	// Seed is the Spec's top-level seed; configs with their own zero seed
+	// inherit it.
+	Seed uint64
+}
+
+// Definition describes one registered backend: its name (the Spec.Backend
+// key), whether it may run on the sharded parallel engine, and the factory
+// that builds a fresh instance per run.
+type Definition struct {
+	// Name identifies the backend ("lgs", "pkt", "fluid", ...).
+	Name string
+	// Parallel declares that the backend partitions its state per rank and
+	// provides a cross-rank lookahead bound, so it can run on the parallel
+	// engine. Backends with shared fabric state must leave it false; Run
+	// rejects Workers > 1 for them instead of silently running serially.
+	Parallel bool
+	// New builds a single-run backend instance. cfg is Spec.Config, still
+	// untyped: the factory owns the type check and must return a descriptive
+	// error on a mismatch (see ConfigAs). cfg == nil selects defaults.
+	// Third-party factories name the contract through this package's
+	// aliases: func(cfg any, env sim.Env) (sim.Backend, error).
+	New func(cfg any, env Env) (core.Backend, error)
+}
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Definition
+}{m: map[string]Definition{}}
+
+// Register adds a backend to the registry. The built-in backends ("lgs",
+// "pkt", "fluid") self-register at init; third parties register theirs the
+// same way. Registering an empty name, a nil factory, or a name that is
+// already taken panics: those are programming errors at wiring time, not
+// runtime conditions.
+func Register(def Definition) {
+	if def.Name == "" {
+		panic("sim: Register with empty backend name")
+	}
+	if def.New == nil {
+		panic(fmt.Sprintf("sim: Register(%q) with nil factory", def.Name))
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[def.Name]; dup {
+		panic(fmt.Sprintf("sim: backend %q registered twice", def.Name))
+	}
+	registry.m[def.Name] = def
+}
+
+// Lookup returns the named backend's definition.
+func Lookup(name string) (Definition, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	def, ok := registry.m[name]
+	return def, ok
+}
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ConfigAs coerces a Spec.Config value to the backend's config type T:
+// nil and a nil *T select the zero value (defaults), T and *T pass
+// through, and anything else is reported as a config-type mismatch.
+// Backend factories — including third-party ones — are expected to route
+// their cfg through this so mismatch errors read uniformly.
+func ConfigAs[T any](backendName string, cfg any) (T, error) {
+	var zero T
+	switch v := cfg.(type) {
+	case nil:
+		return zero, nil
+	case T:
+		return v, nil
+	case *T:
+		if v == nil {
+			return zero, nil
+		}
+		return *v, nil
+	}
+	return zero, fmt.Errorf("sim: backend %q wants a %T config, got %T", backendName, zero, cfg)
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"atlahs/internal/core"
+	"atlahs/internal/engine"
+	"atlahs/internal/goal"
+	"atlahs/internal/pktnet"
+	"atlahs/internal/sched"
+	"atlahs/internal/simtime"
+)
+
+// Result summarises a completed run.
+type Result struct {
+	// Runtime is the simulated completion time of the last op.
+	Runtime Duration
+	// RankEnd is each rank's last-op completion time.
+	RankEnd []Time
+	// Ops is the number of executed GOAL ops.
+	Ops int64
+	// Events is the number of engine events processed.
+	Events uint64
+	// Backend is the resolved backend name.
+	Backend string
+	// Workers is the resolved worker count (1 = serial engine).
+	Workers int
+	// Parallel reports whether the sharded parallel engine ran the
+	// simulation.
+	Parallel bool
+	// Net holds the fabric counters for backends that track them (pkt);
+	// nil otherwise.
+	Net *NetStats
+	// Wall is the host time the simulation took.
+	Wall time.Duration
+}
+
+// Run executes the spec: resolve the workload, build the backend through
+// the registry, pick the serial or parallel engine from the backend's
+// declared lookahead, simulate, and stream callbacks to the spec's
+// Observer. Results are deterministic: they never depend on Workers or on
+// wall-clock conditions.
+//
+// Cancellation is cooperative at op granularity: when ctx is cancellable,
+// the run stops near the next op completion after ctx ends and Run returns
+// ctx's error.
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sch, err := spec.schedule()
+	if err != nil {
+		return nil, err
+	}
+	name := spec.Backend
+	if name == "" {
+		name = "lgs"
+	}
+	def, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown backend %q (registered: %s)", name, strings.Join(Backends(), ", "))
+	}
+	be, err := def.New(spec.Config, Env{Ranks: sch.NumRanks(), Seed: spec.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	workers := spec.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 0 {
+		workers = 1
+	}
+	if workers > 1 && !def.Parallel {
+		return nil, fmt.Errorf("sim: backend %q shares fabric state across ranks and cannot run on the parallel engine; drop the worker request (got %d)", name, workers)
+	}
+	lookahead := core.LookaheadOf(be)
+	parallel := workers > 1 && lookahead > 0 && sch.NumRanks() > 1
+	var eng engine.Sim
+	if parallel {
+		eng = engine.NewParallel(sch.NumRanks(), workers, lookahead)
+	} else {
+		workers = 1
+		eng = engine.New()
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	runBE := be
+	if spec.Observer != nil || ctx.Done() != nil {
+		st := sch.ComputeStats()
+		runBE = &observedBackend{
+			inner: be,
+			sch:   sch,
+			obs:   spec.Observer,
+			every: spec.ProgressEvery,
+			total: st.Ops,
+			ctx:   ctx,
+			stop:  eng.(interface{ Stop() }),
+		}
+		if spec.Observer != nil {
+			spec.Observer.RunStarted(RunInfo{
+				Backend:  name,
+				Stats:    st,
+				Workers:  workers,
+				Parallel: parallel,
+			})
+		}
+	}
+
+	start := time.Now()
+	res, err := sched.Run(eng, sch, runBE, sched.Options{CalcScale: spec.CalcScale})
+	wall := time.Since(start)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, err
+	}
+
+	out := &Result{
+		Runtime:  res.Runtime,
+		RankEnd:  res.RankEnd,
+		Ops:      res.Ops,
+		Events:   res.Events,
+		Backend:  name,
+		Workers:  workers,
+		Parallel: parallel,
+		Wall:     wall,
+	}
+	if sp, ok := be.(interface{ NetStats() pktnet.Stats }); ok {
+		ns := sp.NetStats()
+		out.Net = &ns
+		if spec.Observer != nil {
+			spec.Observer.NetStats(ns)
+		}
+	}
+	return out, nil
+}
+
+// observedBackend decorates a backend to intercept the completion callback
+// for observer streaming and cooperative cancellation. It adds no engine
+// events and leaves the completion delivery order untouched, so a run with
+// an observer is bit-identical to one without.
+type observedBackend struct {
+	inner core.Backend
+	sch   *goal.Schedule
+	obs   Observer
+	every int64
+	total int64
+	ctx   context.Context
+	stop  interface{ Stop() }
+	done  atomic.Int64
+}
+
+// ctxCheckMask throttles ctx polling to every 1024 op completions.
+const ctxCheckMask = 1<<10 - 1
+
+// Name implements core.Backend.
+func (o *observedBackend) Name() string { return o.inner.Name() }
+
+// Setup implements core.Backend, wrapping the scheduler's completion
+// callback.
+func (o *observedBackend) Setup(nranks int, eng engine.Sim, over core.CompletionFunc) error {
+	return o.inner.Setup(nranks, eng, func(h core.Handle, at simtime.Time) {
+		n := o.done.Add(1)
+		if o.obs != nil {
+			o.obs.OpCompleted(OpEvent{
+				Rank: h.Rank(),
+				Op:   h.Op(),
+				Kind: o.sch.Ranks[h.Rank()].Ops[h.Op()].Kind,
+				At:   at,
+			})
+			if o.every > 0 && n%o.every == 0 {
+				o.obs.Progress(ProgressEvent{Done: n, Total: o.total, At: at})
+			}
+		}
+		if o.ctx.Done() != nil && n&ctxCheckMask == 0 && o.ctx.Err() != nil {
+			o.stop.Stop()
+		}
+		over(h, at)
+	})
+}
+
+// Send implements core.Backend.
+func (o *observedBackend) Send(ev core.SendEvent) { o.inner.Send(ev) }
+
+// Recv implements core.Backend.
+func (o *observedBackend) Recv(ev core.RecvEvent) { o.inner.Recv(ev) }
+
+// Calc implements core.Backend.
+func (o *observedBackend) Calc(ev core.CalcEvent) { o.inner.Calc(ev) }

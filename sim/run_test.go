@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"atlahs/internal/goal"
+	"atlahs/internal/workload/micro"
+)
+
+func TestSpecRequiresExactlyOneWorkload(t *testing.T) {
+	if _, err := Run(context.Background(), Spec{}); err == nil ||
+		!strings.Contains(err.Error(), "no workload") {
+		t.Fatalf("empty spec: %v", err)
+	}
+	_, err := Run(context.Background(), Spec{
+		Schedule:  micro.Ring(2, 64),
+		Synthetic: &Synthetic{Pattern: "ring", Ranks: 2, Bytes: 64},
+	})
+	if err == nil || !strings.Contains(err.Error(), "exactly one") {
+		t.Fatalf("two sources: %v", err)
+	}
+}
+
+// TestWorkloadSourcesAgree: the same schedule through all four sources
+// must produce the same result.
+func TestWorkloadSourcesAgree(t *testing.T) {
+	s := micro.Ring(8, 4096)
+	var bin, txt bytes.Buffer
+	if err := goal.WriteBinary(&bin, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := goal.WriteText(&txt, s); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "ring.bin")
+	if err := os.WriteFile(binPath, bin.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := Run(context.Background(), Spec{Schedule: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, spec := range map[string]Spec{
+		"goal-bytes-binary": {GoalBytes: bin.Bytes()},
+		"goal-bytes-text":   {GoalBytes: txt.Bytes()},
+		"goal-path":         {GoalPath: binPath},
+		"synthetic":         {Synthetic: &Synthetic{Pattern: "ring", Ranks: 8, Bytes: 4096}},
+	} {
+		got, err := Run(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Runtime != want.Runtime || got.Ops != want.Ops {
+			t.Fatalf("%s: (%v, %d ops), want (%v, %d ops)", name, got.Runtime, got.Ops, want.Runtime, want.Ops)
+		}
+	}
+}
+
+func TestSyntheticPatterns(t *testing.T) {
+	for _, pattern := range SyntheticPatterns() {
+		res, err := Run(context.Background(), Spec{
+			Synthetic: &Synthetic{Pattern: pattern, Ranks: 6, Bytes: 1024},
+			Seed:      9,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", pattern, err)
+		}
+		if res.Ops == 0 {
+			t.Fatalf("%s: no ops executed", pattern)
+		}
+	}
+	if _, err := Run(context.Background(), Spec{
+		Synthetic: &Synthetic{Pattern: "nope", Ranks: 4},
+	}); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("unknown pattern: %v", err)
+	}
+}
+
+func TestWorkersRejectedForSharedFabricBackends(t *testing.T) {
+	for _, name := range []string{"pkt", "fluid"} {
+		_, err := Run(context.Background(), Spec{
+			Schedule: micro.Ring(4, 1024),
+			Backend:  name,
+			Workers:  4,
+		})
+		if err == nil {
+			t.Fatalf("%s with Workers=4: expected rejection, not a silent serial fallback", name)
+		}
+		if !strings.Contains(err.Error(), name) || !strings.Contains(err.Error(), "parallel") {
+			t.Fatalf("%s rejection %q should name the backend and the parallel engine", name, err)
+		}
+	}
+}
+
+func TestOversubscriptionBeyondToRRadixErrors(t *testing.T) {
+	_, err := Run(context.Background(), Spec{
+		Schedule: micro.Ring(4, 1024),
+		Backend:  "pkt",
+		Config:   PktConfig{HostsPerToR: 4, Oversub: 8},
+	})
+	if err == nil || !strings.Contains(err.Error(), "oversubscription") {
+		t.Fatalf("oversub 8 with 4 hosts/ToR: %v, want an oversubscription error, not a clamp", err)
+	}
+}
+
+// recordingObserver counts callbacks; op-level methods may run
+// concurrently under Workers > 1.
+type recordingObserver struct {
+	mu       sync.Mutex
+	started  []RunInfo
+	ops      []OpEvent
+	progress []ProgressEvent
+	net      []NetStats
+}
+
+func (r *recordingObserver) RunStarted(info RunInfo) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.started = append(r.started, info)
+}
+func (r *recordingObserver) OpCompleted(ev OpEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = append(r.ops, ev)
+}
+func (r *recordingObserver) Progress(ev ProgressEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.progress = append(r.progress, ev)
+}
+func (r *recordingObserver) NetStats(ns NetStats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.net = append(r.net, ns)
+}
+
+func TestObserverStreamsRun(t *testing.T) {
+	s := micro.AllToAll(8, 4096)
+	obs := &recordingObserver{}
+	res, err := Run(context.Background(), Spec{
+		Schedule:      s,
+		Backend:       "pkt",
+		Observer:      obs,
+		ProgressEvery: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.started) != 1 {
+		t.Fatalf("RunStarted fired %d times", len(obs.started))
+	}
+	info := obs.started[0]
+	if info.Backend != "pkt" || info.Stats.Ranks != 8 || info.Parallel {
+		t.Fatalf("RunInfo %+v", info)
+	}
+	if int64(len(obs.ops)) != res.Ops {
+		t.Fatalf("observed %d op completions, result says %d", len(obs.ops), res.Ops)
+	}
+	wantProgress := int(res.Ops / 10)
+	if len(obs.progress) != wantProgress {
+		t.Fatalf("observed %d progress events, want %d", len(obs.progress), wantProgress)
+	}
+	if len(obs.net) != 1 || obs.net[0].PktsSent == 0 {
+		t.Fatalf("net stats callbacks %+v", obs.net)
+	}
+	// Kinds must match the schedule's op mix.
+	var sends, recvs int64
+	for _, ev := range obs.ops {
+		switch ev.Kind {
+		case OpSend:
+			sends++
+		case OpRecv:
+			recvs++
+		}
+	}
+	st := s.ComputeStats()
+	if sends != st.Sends || recvs != st.Recvs {
+		t.Fatalf("observed %d sends / %d recvs, schedule has %d / %d", sends, recvs, st.Sends, st.Recvs)
+	}
+}
+
+// TestObserverDoesNotPerturbResult: runs with and without an observer must
+// be bit-identical.
+func TestObserverDoesNotPerturbResult(t *testing.T) {
+	s := micro.BulkSynchronous(8, 4, 16384, 1500)
+	plain, err := Run(context.Background(), Spec{Schedule: s, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := Run(context.Background(), Spec{
+		Schedule: s,
+		Workers:  4,
+		Observer: &recordingObserver{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Runtime != observed.Runtime || plain.Events != observed.Events {
+		t.Fatalf("observer changed the simulation: (%v, %d) vs (%v, %d)",
+			observed.Runtime, observed.Events, plain.Runtime, plain.Events)
+	}
+}
+
+func TestRunHonoursCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, Spec{Schedule: micro.Ring(4, 1024)})
+	if err != context.Canceled {
+		t.Fatalf("pre-cancelled ctx: %v, want context.Canceled", err)
+	}
+}
+
+// cancelAfter cancels its context after n op completions.
+type cancelAfter struct {
+	NopObserver
+	n      int64
+	seen   int64
+	cancel context.CancelFunc
+	mu     sync.Mutex
+}
+
+func (c *cancelAfter) OpCompleted(OpEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seen++
+	if c.seen == c.n {
+		c.cancel()
+	}
+}
+
+func TestRunCancelsMidSimulation(t *testing.T) {
+	// Enough ops that the 1024-completion ctx poll triggers well before the
+	// end: 64 ranks all-to-all is ~8k ops.
+	s := micro.AllToAll(64, 1024)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := Run(ctx, Spec{
+		Schedule: s,
+		Observer: &cancelAfter{n: 100, cancel: cancel},
+	})
+	if err != context.Canceled {
+		t.Fatalf("mid-run cancel: %v, want context.Canceled", err)
+	}
+}

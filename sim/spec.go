@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+
+	"atlahs/internal/goal"
+	"atlahs/internal/workload/micro"
+)
+
+// Spec declares one simulation run. Exactly one workload source must be
+// set; everything else has usable zero values. A zero Spec with a workload
+// runs that schedule serially on the "lgs" backend with default parameters.
+type Spec struct {
+	// GoalPath names a GOAL schedule file, textual or binary (auto-detected
+	// by the GOALB1 magic).
+	GoalPath string
+	// GoalBytes holds a serialised GOAL schedule, textual or binary
+	// (auto-detected).
+	GoalBytes []byte
+	// Schedule is an in-memory GOAL schedule (e.g. from goal.NewBuilder or a
+	// trace converter).
+	Schedule *Schedule
+	// Synthetic generates a microbenchmark traffic pattern.
+	Synthetic *Synthetic
+
+	// Backend names the registered simulator to run on; "" means "lgs".
+	Backend string
+	// Config is the backend's typed configuration (e.g. LGSConfig,
+	// PktConfig, FluidConfig, or a third-party backend's own type). nil
+	// selects that backend's defaults; a value of the wrong type is an
+	// error, not a silent default.
+	Config any
+
+	// Workers is the goroutine budget for the sharded parallel engine:
+	// 0 and 1 run serially, > 1 runs parallel when the backend supports it
+	// (a declared positive lookahead), and < 0 means GOMAXPROCS. Asking for
+	// Workers > 1 on a backend that cannot shard (pkt, fluid) is an error.
+	// Results never depend on Workers.
+	Workers int
+	// CalcScale multiplies every calc duration (hardware adaptation factor,
+	// paper §7). 0 means 1.0.
+	CalcScale float64
+	// Seed is the top-level simulation seed, inherited by backend configs
+	// that leave their own seed zero.
+	Seed uint64
+
+	// Observer, when non-nil, receives streaming run callbacks. With
+	// Workers > 1 its op-level methods are called from multiple goroutines
+	// and must be safe for concurrent use.
+	Observer Observer
+	// ProgressEvery emits Observer.Progress every N completed ops (0 = off).
+	ProgressEvery int64
+}
+
+// Synthetic declares a generated traffic pattern (internal/workload/micro).
+type Synthetic struct {
+	// Pattern is one of "ring", "alltoall", "incast", "permutation",
+	// "uniform" or "bsp".
+	Pattern string
+	// Ranks is the number of participating ranks.
+	Ranks int
+	// Bytes is the per-message payload size.
+	Bytes int64
+	// Fanin is the incast fan-in (default Ranks-1).
+	Fanin int
+	// Msgs is the per-rank message count for "uniform" (default 100).
+	Msgs int
+	// Phases is the superstep count for "bsp" (default 4).
+	Phases int
+	// CalcNanos is the per-phase compute for "bsp" (default 1000).
+	CalcNanos int64
+	// Seed seeds "permutation" and "uniform"; 0 inherits Spec.Seed.
+	Seed uint64
+}
+
+// SyntheticPatterns lists the generator names Synthetic understands.
+func SyntheticPatterns() []string {
+	return []string{"ring", "alltoall", "incast", "permutation", "uniform", "bsp"}
+}
+
+// generate builds the schedule for the pattern.
+func (sy *Synthetic) generate(topSeed uint64) (*goal.Schedule, error) {
+	if sy.Ranks <= 0 {
+		return nil, fmt.Errorf("sim: synthetic workload needs Ranks > 0, got %d", sy.Ranks)
+	}
+	seed := sy.Seed
+	if seed == 0 {
+		seed = topSeed
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	switch sy.Pattern {
+	case "ring":
+		return micro.Ring(sy.Ranks, sy.Bytes), nil
+	case "alltoall":
+		return micro.AllToAll(sy.Ranks, sy.Bytes), nil
+	case "incast":
+		fanin := sy.Fanin
+		if fanin <= 0 {
+			fanin = sy.Ranks - 1
+		}
+		return micro.Incast(sy.Ranks, fanin, sy.Bytes), nil
+	case "permutation":
+		return micro.Permutation(sy.Ranks, sy.Bytes, seed), nil
+	case "uniform":
+		msgs := sy.Msgs
+		if msgs <= 0 {
+			msgs = 100
+		}
+		return micro.UniformRandom(sy.Ranks, msgs, sy.Bytes, seed), nil
+	case "bsp":
+		phases := sy.Phases
+		if phases <= 0 {
+			phases = 4
+		}
+		calc := sy.CalcNanos
+		if calc <= 0 {
+			calc = 1000
+		}
+		return micro.BulkSynchronous(sy.Ranks, phases, sy.Bytes, calc), nil
+	}
+	return nil, fmt.Errorf("sim: unknown synthetic pattern %q (want one of %s)",
+		sy.Pattern, strings.Join(SyntheticPatterns(), ", "))
+}
+
+// schedule resolves the Spec's workload source into a GOAL schedule.
+func (sp *Spec) schedule() (*goal.Schedule, error) {
+	sources := 0
+	if sp.GoalPath != "" {
+		sources++
+	}
+	if len(sp.GoalBytes) > 0 {
+		sources++
+	}
+	if sp.Schedule != nil {
+		sources++
+	}
+	if sp.Synthetic != nil {
+		sources++
+	}
+	switch sources {
+	case 0:
+		return nil, fmt.Errorf("sim: spec has no workload; set one of GoalPath, GoalBytes, Schedule or Synthetic")
+	case 1:
+	default:
+		return nil, fmt.Errorf("sim: spec has %d workload sources; set exactly one of GoalPath, GoalBytes, Schedule or Synthetic", sources)
+	}
+	switch {
+	case sp.GoalPath != "":
+		return LoadGOAL(sp.GoalPath)
+	case len(sp.GoalBytes) > 0:
+		return DecodeGOAL(sp.GoalBytes)
+	case sp.Schedule != nil:
+		return sp.Schedule, nil
+	default:
+		return sp.Synthetic.generate(sp.Seed)
+	}
+}
+
+// LoadGOAL reads a GOAL schedule file, textual or binary (auto-detected by
+// the GOALB1 magic).
+func LoadGOAL(path string) (*Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	if magic, err := br.Peek(len(goalMagic)); err == nil && string(magic) == goalMagic {
+		return goal.ReadBinary(br)
+	}
+	return goal.ParseText(br)
+}
+
+// DecodeGOAL parses a serialised GOAL schedule, textual or binary
+// (auto-detected).
+func DecodeGOAL(b []byte) (*Schedule, error) {
+	if bytes.HasPrefix(b, []byte(goalMagic)) {
+		return goal.ReadBinary(bytes.NewReader(b))
+	}
+	return goal.ParseText(bytes.NewReader(b))
+}
+
+// goalMagic is the binary GOAL header (see internal/goal/binary.go).
+const goalMagic = "GOALB1"
