@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: atlahs
+BenchmarkParEngineVsSerial/bsp-128x6/serial-8         	       3	  92331234 ns/op
+BenchmarkParEngineVsSerial/bsp-128x6/workers-4-8      	       3	  61002988 ns/op	 12 B/op
+BenchmarkExperimentSweepVsSerial/workers-1-8          	       1	1900456123 ns/op
+PASS
+ok  	atlahs	12.3s
+`
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Names stay verbatim: the "-8" GOMAXPROCS suffix is kept because it
+	// is textually indistinguishable from a sub-benchmark ending in "-N".
+	want := map[string]float64{
+		"BenchmarkParEngineVsSerial/bsp-128x6/serial-8":    92331234,
+		"BenchmarkParEngineVsSerial/bsp-128x6/workers-4-8": 61002988,
+		"BenchmarkExperimentSweepVsSerial/workers-1-8":     1900456123,
+	}
+	if len(rep.Benchmarks) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(rep.Benchmarks), len(want), rep.Benchmarks)
+	}
+	for name, ns := range want {
+		if got := rep.Benchmarks[name]; got != ns {
+			t.Errorf("%s = %v ns/op, want %v", name, got, ns)
+		}
+	}
+	if rep.Schema != "atlahs.bench/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok atlahs 0.1s\n")); err == nil {
+		t.Fatal("expected an error for bench output without result lines")
+	}
+}
+
+func TestParseRejectsDuplicateNames(t *testing.T) {
+	in := "BenchmarkX-8   3   100 ns/op\nBenchmarkX-8   3   120 ns/op\n"
+	if _, err := parse(strings.NewReader(in)); err == nil {
+		t.Fatal("expected an error for a benchmark name appearing twice")
+	}
+}

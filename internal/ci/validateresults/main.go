@@ -1,0 +1,74 @@
+// Command validateresults is CI's schema gate for exported experiment
+// artifacts: it decodes every *.json file in a directory through
+// results.DecodeJSON (which validates against the atlahs.results/v1
+// schema) and fails on the first invalid or empty sweep. With -complete it
+// additionally requires one artifact per experiment in
+// experiments.Names(), so a figure silently dropping out of the sweep
+// fails the pipeline.
+//
+// Usage:
+//
+//	validateresults [-complete] DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"atlahs/internal/experiments"
+	"atlahs/results"
+)
+
+func main() {
+	complete := flag.Bool("complete", false, "require one artifact per experiment in the evaluation suite")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: validateresults [-complete] DIR")
+		os.Exit(2)
+	}
+	if err := validate(flag.Arg(0), *complete); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// validate checks every JSON artifact in dir, and completeness when asked.
+func validate(dir string, complete bool) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("validateresults: no *.json artifacts in %s", dir)
+	}
+	byName := map[string]bool{}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		sweep, err := results.DecodeJSON(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("validateresults: %s: %w", path, err)
+		}
+		if len(sweep.Rows) == 0 {
+			return fmt.Errorf("validateresults: %s: sweep %q has no rows", path, sweep.Name)
+		}
+		if want := sweep.Name + ".json"; filepath.Base(path) != want {
+			return fmt.Errorf("validateresults: %s holds sweep %q (want file name %s)", path, sweep.Name, want)
+		}
+		byName[sweep.Name] = true
+		fmt.Printf("ok %-8s %s: %d columns, %d rows\n", sweep.Name, path, len(sweep.Columns), len(sweep.Rows))
+	}
+	if complete {
+		for _, name := range experiments.Names() {
+			if !byName[name] {
+				return fmt.Errorf("validateresults: %s misses an artifact for %s", dir, name)
+			}
+		}
+	}
+	return nil
+}

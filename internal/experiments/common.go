@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"atlahs/internal/backend"
@@ -32,6 +33,14 @@ const (
 	Quick Mode = iota
 	Full
 )
+
+// String names the mode as recorded in exported result artifacts.
+func (m Mode) String() string {
+	if m == Quick {
+		return "quick"
+	}
+	return "full"
+}
 
 // Domain bundles per-domain calibration: link parameters for the
 // congestion-aware backends and host overheads matching the LogGOPS o
@@ -231,3 +240,9 @@ func header(w io.Writer, title string) {
 
 // MiB renders a byte count in mebibytes.
 func MiB(n int64) float64 { return float64(n) / (1 << 20) }
+
+// oneline flattens free text (e.g. wrapped error messages) to a single
+// line, as the results schema requires of string cells.
+func oneline(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -8,6 +8,7 @@ import (
 	"atlahs/internal/simtime"
 	"atlahs/internal/trace/schedgen"
 	"atlahs/internal/workload/hpcapps"
+	"atlahs/results"
 )
 
 // Fig10Row is one HPC app/configuration validation outcome.
@@ -25,6 +26,7 @@ type Fig10Row struct {
 
 // Fig10Result collects all configurations.
 type Fig10Result struct {
+	Mode Mode
 	Rows []Fig10Row
 	// MaxAbsErrPct is the worst |error| across all rows and backends —
 	// the paper's claim is that it stays below ~5%.
@@ -58,23 +60,31 @@ func fig10Cases(mode Mode) []struct {
 	}
 }
 
-// Fig10 reproduces the HPC validation (paper Fig 10): ATLAHS predictions
-// against the measured runtime of six scientific applications across weak-
-// and strong-scaling configurations. The paper's testbed is a 188-node
-// CSCS cluster; here the fluid emulator plays that role (see DESIGN.md),
-// with each MPI process on its own simulated endpoint. Configuration
-// points fan out across up to `workers` goroutines; rows land at their
-// index and print in order, so output is identical for any budget.
+// Fig10 computes the experiment and renders its text report — the
+// compute-then-present composition of ComputeFig10 and Render.
 func Fig10(w io.Writer, mode Mode, workers int) (*Fig10Result, error) {
-	header(w, "Fig 10 — HPC validation: measured vs predicted application runtime")
-	res := &Fig10Result{}
+	res, err := ComputeFig10(mode, workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Render(w)
+	return res, nil
+}
+
+// ComputeFig10 reproduces the HPC validation (paper Fig 10): ATLAHS
+// predictions against the measured runtime of six scientific applications
+// across weak- and strong-scaling configurations. The paper's testbed is a
+// 188-node CSCS cluster; here the fluid emulator plays that role (see
+// DESIGN.md), with each MPI process on its own simulated endpoint.
+// Configuration points fan out across up to `workers` goroutines; rows
+// land at their index, so results are identical for any budget.
+func ComputeFig10(mode Mode, workers int) (*Fig10Result, error) {
+	res := &Fig10Result{Mode: mode}
 	dom := HPCDomain()
 	steps := 5
 	if mode == Quick {
 		steps = 2
 	}
-	fmt.Fprintf(w, "%-12s %-12s %12s %7s %22s %22s\n",
-		"app", "procs/nodes", "measured", "comp%", "LGS (err%)", "pkt (err%)")
 	cases := fig10Cases(mode)
 	rows := make([]Fig10Row, len(cases))
 	err := ForEach(workers, len(cases), func(i int) error {
@@ -123,20 +133,50 @@ func Fig10(w io.Writer, mode Mode, workers int) (*Fig10Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Rows = rows
 	for _, row := range rows {
 		for _, e := range []float64{row.LGSErrPct, row.PktErrPct} {
 			if a := abs(e); a > res.MaxAbsErrPct {
 				res.MaxAbsErrPct = a
 			}
 		}
-		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render writes the paper-style text report.
+func (r *Fig10Result) Render(w io.Writer) {
+	header(w, "Fig 10 — HPC validation: measured vs predicted application runtime")
+	fmt.Fprintf(w, "%-12s %-12s %12s %7s %22s %22s\n",
+		"app", "procs/nodes", "measured", "comp%", "LGS (err%)", "pkt (err%)")
+	for _, row := range r.Rows {
 		fmt.Fprintf(w, "%-12s %5d/%-6d %12v %6.1f%% %14v (%+.1f%%) %14v (%+.1f%%)\n",
 			row.App, row.Procs, row.Nodes, row.Measured, row.ComputePct,
 			row.LGS, row.LGSErrPct, row.Pkt, row.PktErrPct)
 	}
-	fmt.Fprintf(w, "\nworst |error| across rows and backends: %.1f%%\n", res.MaxAbsErrPct)
+	fmt.Fprintf(w, "\nworst |error| across rows and backends: %.1f%%\n", r.MaxAbsErrPct)
 	fmt.Fprintln(w, "paper: all errors below ~5% for both ATLAHS backends.")
-	return res, nil
+}
+
+// Sweep exports the computed rows as a structured record set.
+func (r *Fig10Result) Sweep() *results.Sweep {
+	s := results.NewSweep("fig10", "Fig 10 — HPC validation: measured vs predicted application runtime", r.Mode.String())
+	s.AddColumn("app", results.String, "").
+		AddColumn("procs", results.Int, "").
+		AddColumn("nodes", results.Int, "").
+		AddColumn("measured", results.Duration, "ps").
+		AddColumn("compute_pct", results.Float, "%").
+		AddColumn("lgs", results.Duration, "ps").
+		AddColumn("lgs_err_pct", results.Float, "%").
+		AddColumn("pkt", results.Duration, "ps").
+		AddColumn("pkt_err_pct", results.Float, "%")
+	for _, row := range r.Rows {
+		s.MustAddRow(row.App, row.Procs, row.Nodes, row.Measured, row.ComputePct,
+			row.LGS, row.LGSErrPct, row.Pkt, row.PktErrPct)
+	}
+	s.SetDerived("max_abs_err_pct", r.MaxAbsErrPct)
+	s.Note("paper: all errors below ~5% for both ATLAHS backends.")
+	return s
 }
 
 func abs(x float64) float64 {

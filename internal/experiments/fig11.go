@@ -6,6 +6,7 @@ import (
 
 	"atlahs/internal/storage/directdrive"
 	"atlahs/internal/trace/spc"
+	"atlahs/results"
 )
 
 // Fig11Cell is the MCT distribution of one (topology, CC) combination.
@@ -18,23 +19,41 @@ type Fig11Cell struct {
 	Msgs     int
 }
 
-// Fig11Result collects the four cells plus the paper's degradation deltas.
+// Fig11Result collects the four cells plus the paper's degradation deltas
+// and the workload/system description the report prints.
 type Fig11Result struct {
-	Cells []Fig11Cell
+	Mode Mode
+	// WorkloadOps, WritePct and MeanBytes describe the generated SPC
+	// trace; Layout describes the Direct Drive system it maps onto.
+	WorkloadOps int
+	WritePct    float64
+	MeanBytes   float64
+	Layout      string
+	Cells       []Fig11Cell
 	// NDP degradation at 8:1 oversubscription relative to MPRDMA (the
 	// paper reports +14% mean, +35% p99, +77% max).
 	NDPMeanDeltaPct, NDPP99DeltaPct, NDPMaxDeltaPct float64
 }
 
-// Fig11 reproduces the storage case study (paper §6.1, Fig 11): 5k
+// Fig11 computes the experiment and renders its text report — the
+// compute-then-present composition of ComputeFig11 and Render.
+func Fig11(w io.Writer, mode Mode, workers int) (*Fig11Result, error) {
+	res, err := ComputeFig11(mode, workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Render(w)
+	return res, nil
+}
+
+// ComputeFig11 reproduces the storage case study (paper §6.1, Fig 11): 5k
 // operations drawn from the Financial distribution replayed through the
 // Direct Drive model, comparing MPRDMA (sender-based) and NDP
 // (receiver-driven) message completion times on a fully provisioned versus
 // an 8:1 oversubscribed fat tree. Receiver-driven control cannot see
 // in-network congestion away from the receiver, so NDP's tail degrades
 // under oversubscription.
-func Fig11(w io.Writer, mode Mode, workers int) (*Fig11Result, error) {
-	header(w, "Fig 11 — storage MCT under different CC algorithms and topologies")
+func ComputeFig11(mode Mode, workers int) (*Fig11Result, error) {
 	ops := 5000
 	hosts := 8
 	if mode == Quick {
@@ -43,18 +62,20 @@ func Fig11(w io.Writer, mode Mode, workers int) (*Fig11Result, error) {
 	}
 	tr := spc.GenerateFinancial(spc.FinancialConfig{Ops: ops, Seed: 77})
 	st := tr.ComputeStats()
-	fmt.Fprintf(w, "workload: %d Financial-distribution ops, %.0f%% writes, mean %.0f B\n",
-		st.Ops, 100*st.WriteRatio, st.MeanBytes)
 
 	sch, layout, err := directdrive.Generate(tr, directdrive.Config{Hosts: hosts, CCS: 2, BSS: 8})
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(w, "storage system: %v\n\n", layout)
 
+	res := &Fig11Result{
+		Mode:        mode,
+		WorkloadOps: st.Ops,
+		WritePct:    100 * st.WriteRatio,
+		MeanBytes:   st.MeanBytes,
+		Layout:      fmt.Sprintf("%v", layout),
+	}
 	dom := AIDomain()
-	res := &Fig11Result{}
-	fmt.Fprintf(w, "%-22s %-8s %10s %10s %10s %8s\n", "topology", "cc", "mean (µs)", "p99 (µs)", "max (µs)", "msgs")
 	get := func(topoLabel string, oversub int, cc string, seed uint64) (*Fig11Cell, error) {
 		tp, err := FatTree(sch.NumRanks(), 4, oversub, dom)
 		if err != nil {
@@ -73,8 +94,6 @@ func Fig11(w io.Writer, mode Mode, workers int) (*Fig11Result, error) {
 			Msgs:     run.MCT.N(),
 		}
 		res.Cells = append(res.Cells, *cell)
-		fmt.Fprintf(w, "%-22s %-8s %10.2f %10.2f %10.2f %8d\n",
-			cell.Topology, cell.CC, cell.MeanUs, cell.P99Us, cell.MaxUs, cell.Msgs)
 		return cell, nil
 	}
 	if _, err := get("no oversubscription", 1, "mprdma", 1); err != nil {
@@ -94,8 +113,44 @@ func Fig11(w io.Writer, mode Mode, workers int) (*Fig11Result, error) {
 	res.NDPMeanDeltaPct = 100 * (ndp8.MeanUs - mp8.MeanUs) / mp8.MeanUs
 	res.NDPP99DeltaPct = 100 * (ndp8.P99Us - mp8.P99Us) / mp8.P99Us
 	res.NDPMaxDeltaPct = 100 * (ndp8.MaxUs - mp8.MaxUs) / mp8.MaxUs
-	fmt.Fprintf(w, "\nNDP vs MPRDMA at 8:1: mean %+.0f%%, p99 %+.0f%%, max %+.0f%%\n",
-		res.NDPMeanDeltaPct, res.NDPP99DeltaPct, res.NDPMaxDeltaPct)
-	fmt.Fprintln(w, "paper: comparable when fully provisioned; at 8:1 NDP degrades by +14% mean, +35% p99, +77% max.")
 	return res, nil
+}
+
+// Render writes the paper-style text report.
+func (r *Fig11Result) Render(w io.Writer) {
+	header(w, "Fig 11 — storage MCT under different CC algorithms and topologies")
+	fmt.Fprintf(w, "workload: %d Financial-distribution ops, %.0f%% writes, mean %.0f B\n",
+		r.WorkloadOps, r.WritePct, r.MeanBytes)
+	fmt.Fprintf(w, "storage system: %s\n\n", r.Layout)
+	fmt.Fprintf(w, "%-22s %-8s %10s %10s %10s %8s\n", "topology", "cc", "mean (µs)", "p99 (µs)", "max (µs)", "msgs")
+	for _, cell := range r.Cells {
+		fmt.Fprintf(w, "%-22s %-8s %10.2f %10.2f %10.2f %8d\n",
+			cell.Topology, cell.CC, cell.MeanUs, cell.P99Us, cell.MaxUs, cell.Msgs)
+	}
+	fmt.Fprintf(w, "\nNDP vs MPRDMA at 8:1: mean %+.0f%%, p99 %+.0f%%, max %+.0f%%\n",
+		r.NDPMeanDeltaPct, r.NDPP99DeltaPct, r.NDPMaxDeltaPct)
+	fmt.Fprintln(w, "paper: comparable when fully provisioned; at 8:1 NDP degrades by +14% mean, +35% p99, +77% max.")
+}
+
+// Sweep exports the computed cells as a structured record set.
+func (r *Fig11Result) Sweep() *results.Sweep {
+	s := results.NewSweep("fig11", "Fig 11 — storage MCT under different CC algorithms and topologies", r.Mode.String())
+	s.AddColumn("topology", results.String, "").
+		AddColumn("cc", results.String, "").
+		AddColumn("mean_us", results.Float, "us").
+		AddColumn("p99_us", results.Float, "us").
+		AddColumn("max_us", results.Float, "us").
+		AddColumn("msgs", results.Int, "")
+	for _, cell := range r.Cells {
+		s.MustAddRow(cell.Topology, cell.CC, cell.MeanUs, cell.P99Us, cell.MaxUs, cell.Msgs)
+	}
+	s.SetParam("workload_ops", fmt.Sprint(r.WorkloadOps))
+	s.SetParam("write_pct", fmt.Sprintf("%.0f", r.WritePct))
+	s.SetParam("mean_bytes", fmt.Sprintf("%.0f", r.MeanBytes))
+	s.SetParam("layout", r.Layout)
+	s.SetDerived("ndp_mean_delta_pct", r.NDPMeanDeltaPct)
+	s.SetDerived("ndp_p99_delta_pct", r.NDPP99DeltaPct)
+	s.SetDerived("ndp_max_delta_pct", r.NDPMaxDeltaPct)
+	s.Note("paper: comparable when fully provisioned; at 8:1 NDP degrades by +14% mean, +35% p99, +77% max.")
+	return s
 }

@@ -8,6 +8,7 @@ import (
 	"atlahs/internal/simtime"
 	"atlahs/internal/trace/ncclgoal"
 	"atlahs/internal/workload/llm"
+	"atlahs/results"
 )
 
 // Fig12Row is one topology configuration's LGS-vs-packet comparison.
@@ -23,19 +24,31 @@ type Fig12Row struct {
 
 // Fig12Result collects the two topologies.
 type Fig12Result struct {
+	Mode Mode
 	Rows []Fig12Row
 }
 
-// Fig12 reproduces the backend comparison case study (paper §6.2, Fig 12):
-// ATLAHS LGS agrees with the packet backend on a fully provisioned fat
-// tree, but is oblivious to oversubscription — its LogGOPS G parameter
-// reflects injection bandwidth, not ToR-to-core capacity — so at 4:1 the
-// packet backend (which sees queueing and drops) diverges sharply. The
-// training job's nodes are interleaved across ToRs as real schedulers
-// allocate them, pushing the DP ring through the core. The packet-drop
-// counter is the statistic only packet-level simulation provides.
+// Fig12 computes the experiment and renders its text report — the
+// compute-then-present composition of ComputeFig12 and Render.
 func Fig12(w io.Writer, mode Mode, workers int) (*Fig12Result, error) {
-	header(w, "Fig 12 — ATLAHS LGS vs ATLAHS packet backend under oversubscription")
+	res, err := ComputeFig12(mode, workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Render(w)
+	return res, nil
+}
+
+// ComputeFig12 reproduces the backend comparison case study (paper §6.2,
+// Fig 12): ATLAHS LGS agrees with the packet backend on a fully
+// provisioned fat tree, but is oblivious to oversubscription — its LogGOPS
+// G parameter reflects injection bandwidth, not ToR-to-core capacity — so
+// at 4:1 the packet backend (which sees queueing and drops) diverges
+// sharply. The training job's nodes are interleaved across ToRs as real
+// schedulers allocate them, pushing the DP ring through the core. The
+// packet-drop counter is the statistic only packet-level simulation
+// provides.
+func ComputeFig12(mode Mode, workers int) (*Fig12Result, error) {
 	dom := AIDomain()
 	dp := 64
 	hostsPerToR := 4
@@ -72,8 +85,7 @@ func Fig12(w io.Writer, mode Mode, workers int) (*Fig12Result, error) {
 		return nil, err
 	}
 
-	res := &Fig12Result{}
-	fmt.Fprintf(w, "%-24s %14s %14s %10s %12s\n", "topology", "LGS", "pkt", "LGS err%", "pkt drops")
+	res := &Fig12Result{Mode: mode}
 	for _, c := range []struct {
 		label   string
 		oversub int
@@ -89,18 +101,41 @@ func Fig12(w io.Writer, mode Mode, workers int) (*Fig12Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig12 %s: %w", c.label, err)
 		}
-		row := Fig12Row{
+		res.Rows = append(res.Rows, Fig12Row{
 			Topology: c.label,
 			LGS:      lgs,
 			Pkt:      pkt.Runtime,
 			GapPct:   PercentErr(lgs, pkt.Runtime),
 			Drops:    pkt.Stats.Drops,
-		}
-		res.Rows = append(res.Rows, row)
+		})
+	}
+	return res, nil
+}
+
+// Render writes the paper-style text report.
+func (r *Fig12Result) Render(w io.Writer) {
+	header(w, "Fig 12 — ATLAHS LGS vs ATLAHS packet backend under oversubscription")
+	fmt.Fprintf(w, "%-24s %14s %14s %10s %12s\n", "topology", "LGS", "pkt", "LGS err%", "pkt drops")
+	for _, row := range r.Rows {
 		fmt.Fprintf(w, "%-24s %14v %14v %+9.1f%% %12d\n",
 			row.Topology, row.LGS, row.Pkt, row.GapPct, row.Drops)
 	}
 	fmt.Fprintln(w, "\npaper: -0.5% agreement fully provisioned; >120% divergence at 4:1 with")
 	fmt.Fprintln(w, "heavy packet drops — a statistic only the packet-level backend can report.")
-	return res, nil
+}
+
+// Sweep exports the computed rows as a structured record set.
+func (r *Fig12Result) Sweep() *results.Sweep {
+	s := results.NewSweep("fig12", "Fig 12 — ATLAHS LGS vs ATLAHS packet backend under oversubscription", r.Mode.String())
+	s.AddColumn("topology", results.String, "").
+		AddColumn("lgs", results.Duration, "ps").
+		AddColumn("pkt", results.Duration, "ps").
+		AddColumn("lgs_gap_pct", results.Float, "%").
+		AddColumn("pkt_drops", results.Int, "")
+	for _, row := range r.Rows {
+		s.MustAddRow(row.Topology, row.LGS, row.Pkt, row.GapPct, row.Drops)
+	}
+	s.Note("paper: -0.5% agreement fully provisioned; >120% divergence at 4:1 with",
+		"heavy packet drops — a statistic only the packet-level backend can report.")
+	return s
 }

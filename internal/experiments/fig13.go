@@ -10,6 +10,7 @@ import (
 	"atlahs/internal/trace/schedgen"
 	"atlahs/internal/workload/hpcapps"
 	"atlahs/internal/workload/llm"
+	"atlahs/results"
 )
 
 // Fig13Row is one allocation strategy's per-job runtimes.
@@ -19,20 +20,38 @@ type Fig13Row struct {
 	LULESH   simtime.Duration
 }
 
-// Fig13Result carries both strategies and the paper's deltas.
+// Fig13Result carries both strategies, the cluster shape the report
+// prints, and the paper's deltas.
 type Fig13Result struct {
-	Rows []Fig13Row
+	Mode Mode
+	// ClusterNodes, LlamaNodes and LULESHNodes describe the shared
+	// cluster and its two jobs.
+	ClusterNodes int
+	LlamaNodes   int
+	LULESHNodes  int
+	Rows         []Fig13Row
 	// Slowdowns of random relative to packed allocation.
 	LlamaDeltaPct, LULESHDeltaPct float64
 }
 
-// Fig13 reproduces the job-placement case study (paper §6.3, Fig 13): an
-// AI job (Llama) and an HPC job (LULESH) share an oversubscribed cluster.
-// Packed allocation keeps each job's traffic local to its ToRs; random
-// allocation forces it through the oversubscribed core, inflating the
-// communication-bound job's runtime far more than the compute-bound one.
+// Fig13 computes the experiment and renders its text report — the
+// compute-then-present composition of ComputeFig13 and Render.
 func Fig13(w io.Writer, mode Mode, workers int) (*Fig13Result, error) {
-	header(w, "Fig 13 — job placement: packed vs random allocation")
+	res, err := ComputeFig13(mode, workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Render(w)
+	return res, nil
+}
+
+// ComputeFig13 reproduces the job-placement case study (paper §6.3, Fig
+// 13): an AI job (Llama) and an HPC job (LULESH) share an oversubscribed
+// cluster. Packed allocation keeps each job's traffic local to its ToRs;
+// random allocation forces it through the oversubscribed core, inflating
+// the communication-bound job's runtime far more than the compute-bound
+// one.
+func ComputeFig13(mode Mode, workers int) (*Fig13Result, error) {
 	dom := AIDomain()
 	llamaNodes := 8
 	luleshRanks := 8
@@ -69,10 +88,12 @@ func Fig13(w io.Writer, mode Mode, workers int) (*Fig13Result, error) {
 	}
 
 	cluster := llamaSched.NumRanks() + luleshSched.NumRanks()
-	res := &Fig13Result{}
-	fmt.Fprintf(w, "cluster: %d nodes, 4:1 oversubscribed fat tree; jobs: Llama (%d nodes) + LULESH (%d nodes)\n\n",
-		cluster, llamaSched.NumRanks(), luleshSched.NumRanks())
-	fmt.Fprintf(w, "%-20s %16s %16s\n", "allocation", "Llama", "LULESH")
+	res := &Fig13Result{
+		Mode:         mode,
+		ClusterNodes: cluster,
+		LlamaNodes:   llamaSched.NumRanks(),
+		LULESHNodes:  luleshSched.NumRanks(),
+	}
 
 	for _, strat := range []placement.Strategy{placement.Packed, placement.RandomStrat} {
 		sets, err := placement.SplitCluster(cluster, []int{llamaSched.NumRanks(), luleshSched.NumRanks()}, strat, 99)
@@ -103,13 +124,40 @@ func Fig13(w io.Writer, mode Mode, workers int) (*Fig13Result, error) {
 			}
 			return simtime.Duration(max)
 		}
-		row := Fig13Row{Strategy: strat.String(), Llama: jobEnd(sets[0]), LULESH: jobEnd(sets[1])}
-		res.Rows = append(res.Rows, row)
-		fmt.Fprintf(w, "%-20s %16v %16v\n", row.Strategy, row.Llama, row.LULESH)
+		res.Rows = append(res.Rows, Fig13Row{Strategy: strat.String(), Llama: jobEnd(sets[0]), LULESH: jobEnd(sets[1])})
 	}
 	res.LlamaDeltaPct = 100 * (float64(res.Rows[1].Llama) - float64(res.Rows[0].Llama)) / float64(res.Rows[0].Llama)
 	res.LULESHDeltaPct = 100 * (float64(res.Rows[1].LULESH) - float64(res.Rows[0].LULESH)) / float64(res.Rows[0].LULESH)
-	fmt.Fprintf(w, "\nrandom vs packed: Llama %+.0f%%, LULESH %+.0f%%\n", res.LlamaDeltaPct, res.LULESHDeltaPct)
-	fmt.Fprintln(w, "paper: random allocation costs Llama +36% and LULESH only +2%.")
 	return res, nil
+}
+
+// Render writes the paper-style text report.
+func (r *Fig13Result) Render(w io.Writer) {
+	header(w, "Fig 13 — job placement: packed vs random allocation")
+	fmt.Fprintf(w, "cluster: %d nodes, 4:1 oversubscribed fat tree; jobs: Llama (%d nodes) + LULESH (%d nodes)\n\n",
+		r.ClusterNodes, r.LlamaNodes, r.LULESHNodes)
+	fmt.Fprintf(w, "%-20s %16s %16s\n", "allocation", "Llama", "LULESH")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-20s %16v %16v\n", row.Strategy, row.Llama, row.LULESH)
+	}
+	fmt.Fprintf(w, "\nrandom vs packed: Llama %+.0f%%, LULESH %+.0f%%\n", r.LlamaDeltaPct, r.LULESHDeltaPct)
+	fmt.Fprintln(w, "paper: random allocation costs Llama +36% and LULESH only +2%.")
+}
+
+// Sweep exports the computed rows as a structured record set.
+func (r *Fig13Result) Sweep() *results.Sweep {
+	s := results.NewSweep("fig13", "Fig 13 — job placement: packed vs random allocation", r.Mode.String())
+	s.AddColumn("strategy", results.String, "").
+		AddColumn("llama", results.Duration, "ps").
+		AddColumn("lulesh", results.Duration, "ps")
+	for _, row := range r.Rows {
+		s.MustAddRow(row.Strategy, row.Llama, row.LULESH)
+	}
+	s.SetParam("cluster_nodes", fmt.Sprint(r.ClusterNodes))
+	s.SetParam("llama_nodes", fmt.Sprint(r.LlamaNodes))
+	s.SetParam("lulesh_nodes", fmt.Sprint(r.LULESHNodes))
+	s.SetDerived("llama_delta_pct", r.LlamaDeltaPct)
+	s.SetDerived("lulesh_delta_pct", r.LULESHDeltaPct)
+	s.Note("paper: random allocation costs Llama +36% and LULESH only +2%.")
+	return s
 }

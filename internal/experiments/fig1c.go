@@ -10,6 +10,7 @@ import (
 	"atlahs/internal/trace/ncclgoal"
 	"atlahs/internal/workload/llm"
 	"atlahs/internal/workload/micro"
+	"atlahs/results"
 )
 
 // Fig1CRow is one workload's Swift-vs-MPRDMA comparison.
@@ -24,17 +25,28 @@ type Fig1CRow struct {
 
 // Fig1CResult collects all rows.
 type Fig1CResult struct {
+	Mode Mode
 	Rows []Fig1CRow
 }
 
-// Fig1C reproduces the motivating experiment (paper Fig 1C): Swift and
-// MPRDMA perform comparably on synthetic incast/permutation
+// Fig1C computes the experiment and renders its text report — the
+// compute-then-present composition of ComputeFig1C and Render.
+func Fig1C(w io.Writer, mode Mode, workers int) (*Fig1CResult, error) {
+	res, err := ComputeFig1C(mode, workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Render(w)
+	return res, nil
+}
+
+// ComputeFig1C reproduces the motivating experiment (paper Fig 1C): Swift
+// and MPRDMA perform comparably on synthetic incast/permutation
 // microbenchmarks, but replayed LLM training traffic — DP ring allreduces
 // congesting multi-hop paths shared with PP victim flows (Fig 1B) —
 // exposes Swift's weakness: its single end-to-end delay measurement cannot
 // localise the congested hop.
-func Fig1C(w io.Writer, mode Mode, workers int) (*Fig1CResult, error) {
-	header(w, "Fig 1C — CC algorithms: synthetic microbenchmarks vs LLM training traffic")
+func ComputeFig1C(mode Mode, workers int) (*Fig1CResult, error) {
 	dom := AIDomain()
 
 	hosts := 32
@@ -70,7 +82,7 @@ func Fig1C(w io.Writer, mode Mode, workers int) (*Fig1CResult, error) {
 		return nil, err
 	}
 
-	res := &Fig1CResult{}
+	res := &Fig1CResult{Mode: mode}
 	cases := []struct {
 		name        string
 		sched       *goal.Schedule
@@ -81,7 +93,6 @@ func Fig1C(w io.Writer, mode Mode, workers int) (*Fig1CResult, error) {
 		{"permutation (synthetic)", perm, 4, 1},
 		{"Llama 7B training iteration", llmSched, 2, 2},
 	}
-	fmt.Fprintf(w, "%-32s %14s %14s %9s\n", "workload", "MPRDMA", "Swift", "Swift Δ%")
 	for _, c := range cases {
 		nodes := c.sched.NumRanks()
 		tp1, err := FatTree(nodes, c.hostsPerToR, c.oversub, dom)
@@ -100,15 +111,36 @@ func Fig1C(w io.Writer, mode Mode, workers int) (*Fig1CResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig1c %s swift: %w", c.name, err)
 		}
-		row := Fig1CRow{
+		res.Rows = append(res.Rows, Fig1CRow{
 			Workload: c.name,
 			MPRDMA:   mp.Runtime,
 			Swift:    sw.Runtime,
 			DeltaPct: 100 * (float64(sw.Runtime) - float64(mp.Runtime)) / float64(mp.Runtime),
-		}
-		res.Rows = append(res.Rows, row)
+		})
+	}
+	return res, nil
+}
+
+// Render writes the paper-style text report.
+func (r *Fig1CResult) Render(w io.Writer) {
+	header(w, "Fig 1C — CC algorithms: synthetic microbenchmarks vs LLM training traffic")
+	fmt.Fprintf(w, "%-32s %14s %14s %9s\n", "workload", "MPRDMA", "Swift", "Swift Δ%")
+	for _, row := range r.Rows {
 		fmt.Fprintf(w, "%-32s %14v %14v %+8.1f%%\n", row.Workload, row.MPRDMA, row.Swift, row.DeltaPct)
 	}
 	fmt.Fprintln(w, "\npaper: Swift ≈ MPRDMA on synthetic benchmarks; ~4% slower on the real AI trace.")
-	return res, nil
+}
+
+// Sweep exports the computed rows as a structured record set.
+func (r *Fig1CResult) Sweep() *results.Sweep {
+	s := results.NewSweep("fig1c", "Fig 1C — CC algorithms: synthetic microbenchmarks vs LLM training traffic", r.Mode.String())
+	s.AddColumn("workload", results.String, "").
+		AddColumn("mprdma", results.Duration, "ps").
+		AddColumn("swift", results.Duration, "ps").
+		AddColumn("swift_delta_pct", results.Float, "%")
+	for _, row := range r.Rows {
+		s.MustAddRow(row.Workload, row.MPRDMA, row.Swift, row.DeltaPct)
+	}
+	s.Note("paper: Swift ≈ MPRDMA on synthetic benchmarks; ~4% slower on the real AI trace.")
+	return s
 }

@@ -12,6 +12,7 @@ import (
 	"atlahs/internal/trace/chakra"
 	"atlahs/internal/trace/ncclgoal"
 	"atlahs/internal/workload/llm"
+	"atlahs/results"
 )
 
 // fig8Case is one AI validation configuration (paper Fig 8's x-axis).
@@ -61,26 +62,35 @@ type Fig8Row struct {
 
 // Fig8Result collects all configurations.
 type Fig8Result struct {
+	Mode Mode
 	Rows []Fig8Row
 }
 
-// Fig8 reproduces the AI validation (paper Fig 8): measured iteration time
-// versus ATLAHS LGS, ATLAHS packet-level and the AstraSim-lite baseline
-// across six LLM configurations, plus the simulation wall-clock comparison
-// reported in §5.2 (LGS 13.9x/2.7x faster than AstraSim). Configuration
-// points fan out across up to `workers` goroutines; simulated results are
-// identical for any budget.
+// Fig8 computes the experiment and renders its text report — the
+// compute-then-present composition of ComputeFig8 and Render.
 func Fig8(w io.Writer, mode Mode, workers int) (*Fig8Result, error) {
-	header(w, "Fig 8 — AI validation: measured vs predicted training-iteration time")
-	res := &Fig8Result{}
-	fmt.Fprintf(w, "%-38s %12s %7s %22s %22s %s\n",
-		"configuration", "measured", "comp%", "LGS (err%)", "pkt (err%)", "astra (err%)")
+	res, err := ComputeFig8(mode, workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Render(w)
+	return res, nil
+}
+
+// ComputeFig8 reproduces the AI validation (paper Fig 8): measured
+// iteration time versus ATLAHS LGS, ATLAHS packet-level and the
+// AstraSim-lite baseline across six LLM configurations, plus the
+// simulation wall-clock comparison reported in §5.2 (LGS 13.9x/2.7x faster
+// than AstraSim). Configuration points fan out across up to `workers`
+// goroutines; simulated results are identical for any budget.
+func ComputeFig8(mode Mode, workers int) (*Fig8Result, error) {
+	res := &Fig8Result{Mode: mode}
 	dom := AIDomain()
 	cases := fig8Cases(mode)
 	rows := make([]Fig8Row, len(cases))
 	// Every configuration is an isolated simulation stack (own engines,
 	// seeds, topologies), so the sweep fans out across the worker budget;
-	// rows land at their index and print in order below.
+	// rows land at their index and present in order.
 	err := ForEach(workers, len(cases), func(i int) error {
 		c := cases[i]
 		rep, err := llm.Generate(llm.Config{Model: c.Model, Par: c.Par, Scale: c.Scale, Seed: uint64(40 + i)})
@@ -161,8 +171,17 @@ func Fig8(w io.Writer, mode Mode, workers int) (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, row := range rows {
-		res.Rows = append(res.Rows, row)
+	res.Rows = rows
+	return res, nil
+}
+
+// Render writes the paper-style text report: the validation table and the
+// §5.2 wall-clock comparison.
+func (r *Fig8Result) Render(w io.Writer) {
+	header(w, "Fig 8 — AI validation: measured vs predicted training-iteration time")
+	fmt.Fprintf(w, "%-38s %12s %7s %22s %22s %s\n",
+		"configuration", "measured", "comp%", "LGS (err%)", "pkt (err%)", "astra (err%)")
+	for _, row := range r.Rows {
 		astraCol := "FAILED (unsupported parallelism)"
 		if row.AstraErr == "" {
 			astraCol = fmt.Sprintf("%v (%+.1f%%)", row.Astra, row.AstraErrPct)
@@ -174,7 +193,7 @@ func Fig8(w io.Writer, mode Mode, workers int) (*Fig8Result, error) {
 
 	fmt.Fprintln(w, "\nsimulation wall-clock (paper §5.2: LGS 13.9x/2.7x faster than AstraSim):")
 	fmt.Fprintf(w, "%-38s %12s %12s %12s\n", "configuration", "LGS", "pkt", "astra")
-	for _, row := range res.Rows {
+	for _, row := range r.Rows {
 		astraWall := "n/a (failed)"
 		if row.AstraErr == "" {
 			astraWall = row.AstraWall.String()
@@ -183,5 +202,34 @@ func Fig8(w io.Writer, mode Mode, workers int) (*Fig8Result, error) {
 	}
 	fmt.Fprintln(w, "\npaper: ATLAHS errors stay within ~5%; AstraSim runs only the two pure-DP")
 	fmt.Fprintln(w, "configs (errors 27% / 125.5%) and fails on PP/TP/EP parallelism.")
-	return res, nil
+}
+
+// Sweep exports the computed rows as a structured record set. The wall
+// columns are measurements of the generating host (nanoseconds of real
+// time), not simulated results; astra columns are zero when the baseline
+// failed, with the reason in astra_err.
+func (r *Fig8Result) Sweep() *results.Sweep {
+	s := results.NewSweep("fig8", "Fig 8 — AI validation: measured vs predicted training-iteration time", r.Mode.String())
+	s.AddColumn("configuration", results.String, "").
+		AddColumn("measured", results.Duration, "ps").
+		AddColumn("compute_pct", results.Float, "%").
+		AddColumn("lgs", results.Duration, "ps").
+		AddColumn("lgs_err_pct", results.Float, "%").
+		AddColumn("pkt", results.Duration, "ps").
+		AddColumn("pkt_err_pct", results.Float, "%").
+		AddColumn("astra", results.Duration, "ps").
+		AddColumn("astra_err_pct", results.Float, "%").
+		AddColumn("astra_err", results.String, "").
+		AddColumn("lgs_wall_ns", results.Int, "ns").
+		AddColumn("pkt_wall_ns", results.Int, "ns").
+		AddColumn("astra_wall_ns", results.Int, "ns")
+	for _, row := range r.Rows {
+		s.MustAddRow(row.Label, row.Measured, row.ComputePct,
+			row.LGS, row.LGSErrPct, row.Pkt, row.PktErrPct,
+			row.Astra, row.AstraErrPct, oneline(row.AstraErr),
+			row.LGSWall.Nanoseconds(), row.PktWall.Nanoseconds(), row.AstraWall.Nanoseconds())
+	}
+	s.Note("paper: ATLAHS errors stay within ~5%; AstraSim runs only the two pure-DP",
+		"configs (errors 27% / 125.5%) and fails on PP/TP/EP parallelism.")
+	return s
 }

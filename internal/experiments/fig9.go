@@ -7,6 +7,7 @@ import (
 	"atlahs/internal/goal"
 	"atlahs/internal/trace/ncclgoal"
 	"atlahs/internal/workload/llm"
+	"atlahs/results"
 )
 
 // Fig9Row compares GOAL and Chakra trace sizes for one configuration.
@@ -19,16 +20,26 @@ type Fig9Row struct {
 
 // Fig9Result collects all configurations.
 type Fig9Result struct {
+	Mode Mode
 	Rows []Fig9Row
 }
 
-// Fig9 reproduces the trace-size comparison (paper Fig 9): the binary GOAL
-// files ATLAHS simulates from are consistently smaller than the Chakra
-// execution traces AstraSim consumes (1.8x-10.6x in the paper).
+// Fig9 computes the experiment and renders its text report — the
+// compute-then-present composition of ComputeFig9 and Render.
 func Fig9(w io.Writer, mode Mode, workers int) (*Fig9Result, error) {
-	header(w, "Fig 9 — trace size: GOAL vs Chakra")
-	res := &Fig9Result{}
-	fmt.Fprintf(w, "%-38s %12s %12s %8s\n", "configuration", "GOAL (MiB)", "Chakra (MiB)", "ratio")
+	res, err := ComputeFig9(mode, workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Render(w)
+	return res, nil
+}
+
+// ComputeFig9 reproduces the trace-size comparison (paper Fig 9): the
+// binary GOAL files ATLAHS simulates from are consistently smaller than
+// the Chakra execution traces AstraSim consumes (1.8x-10.6x in the paper).
+func ComputeFig9(mode Mode, workers int) (*Fig9Result, error) {
+	res := &Fig9Result{Mode: mode}
 	for i, c := range fig8Cases(mode) {
 		cfg := llm.Config{Model: c.Model, Par: c.Par, Scale: c.Scale, Seed: uint64(40 + i)}
 		rep, err := llm.Generate(cfg)
@@ -51,16 +62,37 @@ func Fig9(w io.Writer, mode Mode, workers int) (*Fig9Result, error) {
 		if _, err := ctr.WriteTo(&chakraCW); err != nil {
 			return nil, err
 		}
-		row := Fig9Row{
+		res.Rows = append(res.Rows, Fig9Row{
 			Label:       c.Label,
 			GOALBytes:   goalCW.n,
 			ChakraBytes: chakraCW.n,
 			Ratio:       float64(chakraCW.n) / float64(goalCW.n),
-		}
-		res.Rows = append(res.Rows, row)
+		})
+	}
+	return res, nil
+}
+
+// Render writes the paper-style text report.
+func (r *Fig9Result) Render(w io.Writer) {
+	header(w, "Fig 9 — trace size: GOAL vs Chakra")
+	fmt.Fprintf(w, "%-38s %12s %12s %8s\n", "configuration", "GOAL (MiB)", "Chakra (MiB)", "ratio")
+	for _, row := range r.Rows {
 		fmt.Fprintf(w, "%-38s %12.3f %12.3f %7.2fx\n",
 			row.Label, MiB(row.GOALBytes), MiB(row.ChakraBytes), row.Ratio)
 	}
 	fmt.Fprintln(w, "\npaper: Chakra traces are 1.8x-10.6x larger than the GOAL equivalents.")
-	return res, nil
+}
+
+// Sweep exports the computed rows as a structured record set.
+func (r *Fig9Result) Sweep() *results.Sweep {
+	s := results.NewSweep("fig9", "Fig 9 — trace size: GOAL vs Chakra", r.Mode.String())
+	s.AddColumn("configuration", results.String, "").
+		AddColumn("goal_bytes", results.Int, "B").
+		AddColumn("chakra_bytes", results.Int, "B").
+		AddColumn("ratio", results.Float, "")
+	for _, row := range r.Rows {
+		s.MustAddRow(row.Label, row.GOALBytes, row.ChakraBytes, row.Ratio)
+	}
+	s.Note("paper: Chakra traces are 1.8x-10.6x larger than the GOAL equivalents.")
+	return s
 }

@@ -9,6 +9,7 @@ import (
 	"atlahs/internal/trace/schedgen"
 	"atlahs/internal/workload/hpcapps"
 	"atlahs/internal/workload/llm"
+	"atlahs/results"
 )
 
 // Table1Row reports one application/configuration's raw-trace and GOAL
@@ -22,6 +23,7 @@ type Table1Row struct {
 
 // Table1Result collects all rows.
 type Table1Result struct {
+	Mode Mode
 	Rows []Table1Row
 }
 
@@ -33,14 +35,24 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// Table1 reproduces the released-trace summary (paper Table 1): for every
-// application and configuration, the size of the raw trace artifact (nsys
-// report / MPI trace) versus the generated binary GOAL file. Byte counts
-// are scaled (recorded per row in the config column); the comparison
-// target is the relative size of GOAL versus the raw traces.
+// Table1 computes the experiment and renders its text report — the
+// compute-then-present composition of ComputeTable1 and Render.
 func Table1(w io.Writer, mode Mode, workers int) (*Table1Result, error) {
-	header(w, "Table 1 — trace and GOAL sizes per application/configuration")
-	res := &Table1Result{}
+	res, err := ComputeTable1(mode, workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Render(w)
+	return res, nil
+}
+
+// ComputeTable1 reproduces the released-trace summary (paper Table 1): for
+// every application and configuration, the size of the raw trace artifact
+// (nsys report / MPI trace) versus the generated binary GOAL file. Byte
+// counts are scaled (recorded per row in the config column); the
+// comparison target is the relative size of GOAL versus the raw traces.
+func ComputeTable1(mode Mode, workers int) (*Table1Result, error) {
+	res := &Table1Result{Mode: mode}
 
 	type aiCase struct {
 		model llm.Model
@@ -62,7 +74,6 @@ func Table1(w io.Writer, mode Mode, workers int) (*Table1Result, error) {
 			aiCase{llm.MoE8x70B(), llm.Parallelism{TP: 4, PP: 8, DP: 8, EP: 8, GlobalBatch: 128}, 1e-4, 4, "256 GPUs 64 Nodes"},
 		)
 	}
-	fmt.Fprintf(w, "%-14s %-22s %12s %12s\n", "app", "configuration", "trace (MiB)", "GOAL (MiB)")
 	for _, c := range aiCases {
 		rep, err := llm.Generate(llm.Config{Model: c.model, Par: c.par, Scale: c.scale, Seed: 33})
 		if err != nil {
@@ -80,9 +91,7 @@ func Table1(w io.Writer, mode Mode, workers int) (*Table1Result, error) {
 		if err := goal.WriteBinary(&goalCW, sch); err != nil {
 			return nil, err
 		}
-		row := Table1Row{App: c.model.Name, Config: c.label, TraceBytes: traceCW.n, GOALBytes: goalCW.n}
-		res.Rows = append(res.Rows, row)
-		fmt.Fprintf(w, "%-14s %-22s %12.3f %12.3f\n", row.App, row.Config, MiB(row.TraceBytes), MiB(row.GOALBytes))
+		res.Rows = append(res.Rows, Table1Row{App: c.model.Name, Config: c.label, TraceBytes: traceCW.n, GOALBytes: goalCW.n})
 	}
 
 	type hpcCase struct {
@@ -124,16 +133,38 @@ func Table1(w io.Writer, mode Mode, workers int) (*Table1Result, error) {
 		if err := goal.WriteBinary(&goalCW, sch); err != nil {
 			return nil, err
 		}
-		row := Table1Row{
+		res.Rows = append(res.Rows, Table1Row{
 			App:        string(c.app),
 			Config:     fmt.Sprintf("%d Procs %d Nodes", c.ranks, c.nodes),
 			TraceBytes: traceCW.n,
 			GOALBytes:  goalCW.n,
-		}
-		res.Rows = append(res.Rows, row)
+		})
+	}
+	return res, nil
+}
+
+// Render writes the paper-style text report.
+func (r *Table1Result) Render(w io.Writer) {
+	header(w, "Table 1 — trace and GOAL sizes per application/configuration")
+	fmt.Fprintf(w, "%-14s %-22s %12s %12s\n", "app", "configuration", "trace (MiB)", "GOAL (MiB)")
+	for _, row := range r.Rows {
 		fmt.Fprintf(w, "%-14s %-22s %12.3f %12.3f\n", row.App, row.Config, MiB(row.TraceBytes), MiB(row.GOALBytes))
 	}
 	fmt.Fprintln(w, "\npaper: GOAL files are the same order of magnitude as the raw traces")
 	fmt.Fprintln(w, "(sometimes larger after collective expansion, e.g. Llama 128-GPU 1652->4819 MiB).")
-	return res, nil
+}
+
+// Sweep exports the computed rows as a structured record set.
+func (r *Table1Result) Sweep() *results.Sweep {
+	s := results.NewSweep("table1", "Table 1 — trace and GOAL sizes per application/configuration", r.Mode.String())
+	s.AddColumn("app", results.String, "").
+		AddColumn("config", results.String, "").
+		AddColumn("trace_bytes", results.Int, "B").
+		AddColumn("goal_bytes", results.Int, "B")
+	for _, row := range r.Rows {
+		s.MustAddRow(row.App, row.Config, row.TraceBytes, row.GOALBytes)
+	}
+	s.Note("paper: GOAL files are the same order of magnitude as the raw traces",
+		"(sometimes larger after collective expansion, e.g. Llama 128-GPU 1652->4819 MiB).")
+	return s
 }

@@ -39,8 +39,12 @@ func (b *stubBackend) complete(kind string, h core.Handle, d simtime.Duration) {
 	ln.Schedule(end, func() { b.over(h, end) })
 }
 
-func (b *stubBackend) Send(ev core.SendEvent) { b.complete(opName("send", ev.Handle), ev.Handle, b.lat) }
-func (b *stubBackend) Recv(ev core.RecvEvent) { b.complete(opName("recv", ev.Handle), ev.Handle, b.lat) }
+func (b *stubBackend) Send(ev core.SendEvent) {
+	b.complete(opName("send", ev.Handle), ev.Handle, b.lat)
+}
+func (b *stubBackend) Recv(ev core.RecvEvent) {
+	b.complete(opName("recv", ev.Handle), ev.Handle, b.lat)
+}
 func (b *stubBackend) Calc(ev core.CalcEvent) {
 	b.complete(opName("calc", ev.Handle), ev.Handle, ev.Duration)
 }

@@ -1,0 +1,66 @@
+// Package results defines the machine-readable result records of the
+// ATLAHS toolchain: typed sweeps of experiment rows with lossless JSON and
+// CSV encodings, so figures and tables are regenerated as data artifacts
+// instead of parsed out of printed text.
+//
+// A Sweep is one experiment's output: identifying metadata (Name, Title,
+// Mode), a typed column schema, the data rows (one Record per
+// configuration point), experiment-level Params, Derived aggregates, and
+// free-text Notes. Records hold canonical Go values only — string, int64
+// and float64 — with the column Kind distinguishing plain integers from
+// simulated-time durations (always integer picoseconds, the base unit of
+// internal/simtime).
+//
+// # JSON schema (atlahs.results/v1)
+//
+// EncodeJSON writes one Sweep as a single JSON object:
+//
+//	{
+//	  "schema":  "atlahs.results/v1",
+//	  "name":    "fig8",
+//	  "title":   "Fig 8 — AI validation: ...",
+//	  "mode":    "quick",
+//	  "params":  {"key": "value"},               // optional
+//	  "columns": [{"name": "measured", "kind": "duration", "unit": "ps"}],
+//	  "rows":    [{"measured": 254663000000}],   // one object per Record
+//	  "derived": {"max_abs_err_pct": 3.2},       // optional
+//	  "notes":   ["paper: ..."]                  // optional
+//	}
+//
+// Row objects are keyed by column name and carry exactly the declared
+// columns: "string" cells are JSON strings, "int" and "duration" cells are
+// integral JSON numbers (int64 range), "float" cells are finite JSON
+// numbers. EncodeJSONList writes a JSON array of such objects.
+//
+// # CSV schema
+//
+// EncodeCSV writes the same sweep as a comment preamble plus an RFC-4180
+// body. Preamble lines start with "# " and carry the non-tabular fields:
+//
+//	# schema atlahs.results/v1
+//	# name fig8
+//	# title Fig 8 — AI validation: ...
+//	# mode quick
+//	# param key value
+//	# derived max_abs_err_pct 3.2
+//	# note paper: ...
+//
+// The first CSV record is the header; each cell is "name:kind" or
+// "name:kind:unit" so the column schema survives the round trip. Data
+// cells format as raw strings, decimal int64, or shortest-round-trip
+// floats (strconv 'g', precision -1).
+//
+// # Stability guarantee
+//
+// The "atlahs.results/v1" schema is append-only: released field names,
+// column kinds and cell encodings keep their meaning, and decoders
+// tolerate new optional top-level fields. Renaming or retyping a field, or
+// changing a unit, requires a new schema version string; consumers should
+// reject schemas they do not know. Column sets of individual experiments
+// may grow new columns between releases — CSV/JSON consumers should select
+// columns by name, not by position.
+//
+// Encode→decode is lossless for both encodings: DecodeJSON(EncodeJSON(s))
+// and DecodeCSV(EncodeCSV(s)) reproduce the Sweep exactly (the round-trip
+// suite pins this).
+package results

@@ -1,0 +1,159 @@
+package results
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonSweep is the wire form of a Sweep (see the package documentation's
+// schema). Rows are objects keyed by column name so artifacts stay
+// self-describing when inspected by hand or by column-name consumers.
+type jsonSweep struct {
+	Schema  string             `json:"schema"`
+	Name    string             `json:"name"`
+	Title   string             `json:"title,omitempty"`
+	Mode    string             `json:"mode,omitempty"`
+	Params  map[string]string  `json:"params,omitempty"`
+	Columns []Column           `json:"columns"`
+	Rows    []map[string]any   `json:"rows"`
+	Derived map[string]float64 `json:"derived,omitempty"`
+	Notes   []string           `json:"notes,omitempty"`
+}
+
+// EncodeJSON validates s and writes it as one indented JSON object
+// followed by a newline.
+func EncodeJSON(w io.Writer, s *Sweep) error {
+	b, err := marshalSweep(s)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// EncodeJSONList validates every sweep and writes them as one indented
+// JSON array followed by a newline.
+func EncodeJSONList(w io.Writer, sweeps []*Sweep) error {
+	var buf bytes.Buffer
+	buf.WriteString("[")
+	for i, s := range sweeps {
+		b, err := marshalSweep(s)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			buf.WriteString(",")
+		}
+		buf.WriteString("\n")
+		buf.Write(b)
+	}
+	if len(sweeps) > 0 {
+		buf.WriteString("\n")
+	}
+	buf.WriteString("]\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// marshalSweep validates and renders one sweep to indented JSON.
+func marshalSweep(s *Sweep) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	js := jsonSweep{
+		Schema:  Schema,
+		Name:    s.Name,
+		Title:   s.Title,
+		Mode:    s.Mode,
+		Params:  s.Params,
+		Columns: s.Columns,
+		Rows:    make([]map[string]any, len(s.Rows)),
+		Derived: s.Derived,
+		Notes:   s.Notes,
+	}
+	for i, rec := range s.Rows {
+		row := make(map[string]any, len(rec))
+		for j, cell := range rec {
+			row[s.Columns[j].Name] = cell
+		}
+		js.Rows[i] = row
+	}
+	return json.MarshalIndent(js, "", "  ")
+}
+
+// DecodeJSON reads one Sweep written by EncodeJSON, rejecting unknown
+// schema versions, rows that miss or add columns, and cells of the wrong
+// type. The returned sweep is validated and compares equal (DeepEqual) to
+// the encoded one.
+func DecodeJSON(r io.Reader) (*Sweep, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var js jsonSweep
+	if err := dec.Decode(&js); err != nil {
+		return nil, fmt.Errorf("results: decoding JSON sweep: %w", err)
+	}
+	if js.Schema != Schema {
+		return nil, fmt.Errorf("results: unknown schema %q (want %q)", js.Schema, Schema)
+	}
+	s := &Sweep{
+		Name:    js.Name,
+		Title:   js.Title,
+		Mode:    js.Mode,
+		Params:  js.Params,
+		Columns: js.Columns,
+		Derived: js.Derived,
+		Notes:   js.Notes,
+	}
+	for i, row := range js.Rows {
+		if len(row) != len(js.Columns) {
+			return nil, fmt.Errorf("results: sweep %q: row %d has %d fields, schema has %d columns", js.Name, i, len(row), len(js.Columns))
+		}
+		rec := make(Record, len(js.Columns))
+		for j, c := range js.Columns {
+			raw, ok := row[c.Name]
+			if !ok {
+				return nil, fmt.Errorf("results: sweep %q: row %d misses column %q", js.Name, i, c.Name)
+			}
+			cell, err := cellFromJSON(c, raw)
+			if err != nil {
+				return nil, fmt.Errorf("results: sweep %q: row %d: %w", js.Name, i, err)
+			}
+			rec[j] = cell
+		}
+		s.Rows = append(s.Rows, rec)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// cellFromJSON converts a decoded JSON value (string or json.Number) to
+// the column's canonical cell type.
+func cellFromJSON(c Column, raw any) (any, error) {
+	switch c.Kind {
+	case String:
+		if v, ok := raw.(string); ok {
+			return v, nil
+		}
+	case Int, Duration:
+		if n, ok := raw.(json.Number); ok {
+			v, err := n.Int64()
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %q is not an int64", c.Name, n)
+			}
+			return v, nil
+		}
+	case Float:
+		if n, ok := raw.(json.Number); ok {
+			v, err := n.Float64()
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %q is not a float64", c.Name, n)
+			}
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("column %q (%s): JSON value %v has wrong type", c.Name, c.Kind, raw)
+}

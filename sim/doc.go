@@ -4,9 +4,14 @@
 // generator), the backend (resolved through a registry that third-party
 // simulators can join via Register), and the execution knobs (worker
 // budget, calc scaling, seed). Run executes the spec, picking the serial or
-// sharded parallel engine from the backend's declared lookahead, and
-// streams op completions, periodic progress and backend network counters to
-// an optional Observer.
+// sharded parallel engine from the backend's declared lookahead, streams op
+// completions, periodic progress and backend network counters to an
+// optional Observer, and returns a typed Result: makespan, per-rank
+// completion times, the schedule's size accounting, executed-op tallies and
+// the backend's fabric counters when it tracks them. Everything in a Result
+// except the Wall measurement is deterministic — independent of worker
+// count and host conditions — so results can be exported (see the results
+// package) and compared across runs.
 //
 // The layering is strict: sim (this package, the entry point) sits on
 // internal/sched (the GOAL dependency scheduler), which drives any

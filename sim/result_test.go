@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// resultSpec builds a small multi-rank workload every backend can run.
+func resultSpec(backendName string) Spec {
+	return Spec{
+		Synthetic: &Synthetic{Pattern: "alltoall", Ranks: 8, Bytes: 4096},
+		Backend:   backendName,
+	}
+}
+
+// TestResultPopulationPerBackend: every built-in backend must return a
+// fully populated Result — non-zero makespan, run metadata, schedule
+// accounting, and op tallies that match the schedule exactly. The list is
+// spelled out (rather than ranging over Backends()) because other tests
+// register throwaway definitions in the shared registry.
+func TestResultPopulationPerBackend(t *testing.T) {
+	for _, name := range []string{"lgs", "pkt", "fluid"} {
+		if _, ok := Lookup(name); !ok {
+			t.Fatalf("built-in backend %q not registered", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			res, err := Run(context.Background(), resultSpec(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Runtime <= 0 {
+				t.Errorf("makespan %v not positive", res.Runtime)
+			}
+			if res.Backend != name {
+				t.Errorf("Backend = %q, want %q", res.Backend, name)
+			}
+			if res.Ranks != 8 || res.Sched.Ranks != 8 || len(res.RankEnd) != 8 {
+				t.Errorf("rank accounting: Ranks=%d Sched.Ranks=%d len(RankEnd)=%d, want 8",
+					res.Ranks, res.Sched.Ranks, len(res.RankEnd))
+			}
+			if res.Events == 0 {
+				t.Error("Events = 0")
+			}
+			if res.Workers != 1 || res.Parallel {
+				t.Errorf("serial run reported Workers=%d Parallel=%v", res.Workers, res.Parallel)
+			}
+			if res.Ops != res.Sched.Ops || res.Done.Total() != res.Sched.Ops {
+				t.Errorf("op accounting: Ops=%d Done.Total()=%d, want Sched.Ops=%d",
+					res.Ops, res.Done.Total(), res.Sched.Ops)
+			}
+			want := Tally{Calcs: res.Sched.Calcs, Sends: res.Sched.Sends, Recvs: res.Sched.Recvs}
+			if res.Done != want {
+				t.Errorf("Done = %+v, want schedule tallies %+v", res.Done, want)
+			}
+			if gotNet := res.Net != nil; gotNet != (name == "pkt") {
+				t.Errorf("Net != nil is %v for backend %q", gotNet, name)
+			}
+			for r, end := range res.RankEnd {
+				if end <= 0 {
+					t.Errorf("rank %d end time %v not positive", r, end)
+				}
+			}
+		})
+	}
+}
+
+// TestResultTalliesSerialVsParallel: the parallel engine must report the
+// same Result as the serial engine — same makespan, rank ends, and op
+// tallies — with only the engine metadata differing.
+func TestResultTalliesSerialVsParallel(t *testing.T) {
+	mk := func(workers int) Spec {
+		return Spec{
+			Synthetic: &Synthetic{Pattern: "bsp", Ranks: 16, Bytes: 65536, Phases: 5, CalcNanos: 2000},
+			Backend:   "lgs",
+			Workers:   workers,
+		}
+	}
+	serial, err := Run(context.Background(), mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(context.Background(), mk(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parallel.Parallel || parallel.Workers != 4 {
+		t.Fatalf("parallel run reported Workers=%d Parallel=%v", parallel.Workers, parallel.Parallel)
+	}
+	if serial.Runtime != parallel.Runtime {
+		t.Errorf("makespan diverged: serial %v vs parallel %v", serial.Runtime, parallel.Runtime)
+	}
+	if !reflect.DeepEqual(serial.RankEnd, parallel.RankEnd) {
+		t.Errorf("RankEnd diverged:\nserial:   %v\nparallel: %v", serial.RankEnd, parallel.RankEnd)
+	}
+	if serial.Done != parallel.Done {
+		t.Errorf("op tallies diverged: serial %+v vs parallel %+v", serial.Done, parallel.Done)
+	}
+	if serial.Ops != parallel.Ops || serial.Sched != parallel.Sched {
+		t.Errorf("schedule accounting diverged: serial Ops=%d %+v vs parallel Ops=%d %+v",
+			serial.Ops, serial.Sched, parallel.Ops, parallel.Sched)
+	}
+	if serial.Done.Total() != serial.Sched.Ops {
+		t.Errorf("Done.Total()=%d, want Sched.Ops=%d", serial.Done.Total(), serial.Sched.Ops)
+	}
+}

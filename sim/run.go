@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"atlahs/internal/core"
 	"atlahs/internal/engine"
@@ -16,9 +17,13 @@ import (
 	"atlahs/internal/simtime"
 )
 
-// Result summarises a completed run.
+// Result summarises a completed run: the simulated outcome (makespan,
+// per-rank completion), the run's resolved metadata (backend, engine,
+// workload accounting) and the executed-op tallies observed through the
+// completion stream. Every field is deterministic except Wall.
 type Result struct {
-	// Runtime is the simulated completion time of the last op.
+	// Runtime is the simulated completion time of the last op (the
+	// makespan).
 	Runtime Duration
 	// RankEnd is each rank's last-op completion time.
 	RankEnd []Time
@@ -28,6 +33,17 @@ type Result struct {
 	Events uint64
 	// Backend is the resolved backend name.
 	Backend string
+	// Ranks is the schedule's rank count (= simulated endpoints).
+	Ranks int
+	// Sched is the resolved workload's size accounting (ops, bytes on the
+	// wire, dependency edges, ...).
+	Sched ScheduleStats
+	// Done tallies executed ops by kind, counted at completion time as the
+	// Observer sees them. A successful run completes every scheduled op
+	// (the scheduler errors on deadlock instead of returning partial
+	// results), so Done always matches Sched's per-kind counts — for any
+	// worker count.
+	Done Tally
 	// Workers is the resolved worker count (1 = serial engine).
 	Workers int
 	// Parallel reports whether the sharded parallel engine ran the
@@ -39,6 +55,14 @@ type Result struct {
 	// Wall is the host time the simulation took.
 	Wall time.Duration
 }
+
+// Tally counts executed GOAL ops by kind.
+type Tally struct {
+	Calcs, Sends, Recvs int64
+}
+
+// Total sums the tally across kinds.
+func (t Tally) Total() int64 { return t.Calcs + t.Sends + t.Recvs }
 
 // Run executes the spec: resolve the workload, build the backend through
 // the registry, pick the serial or parallel engine from the backend's
@@ -93,26 +117,25 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	runBE := be
-	if spec.Observer != nil || ctx.Done() != nil {
-		st := sch.ComputeStats()
-		runBE = &observedBackend{
-			inner: be,
-			sch:   sch,
-			obs:   spec.Observer,
-			every: spec.ProgressEvery,
-			total: st.Ops,
-			ctx:   ctx,
-			stop:  eng.(interface{ Stop() }),
-		}
-		if spec.Observer != nil {
-			spec.Observer.RunStarted(RunInfo{
-				Backend:  name,
-				Stats:    st,
-				Workers:  workers,
-				Parallel: parallel,
-			})
-		}
+	st := sch.ComputeStats()
+	runBE := &observedBackend{
+		inner:   be,
+		sch:     sch,
+		obs:     spec.Observer,
+		every:   spec.ProgressEvery,
+		total:   st.Ops,
+		ctx:     ctx,
+		stop:    eng.(interface{ Stop() }),
+		track:   spec.Observer != nil || ctx.Done() != nil,
+		perRank: make([]paddedTally, sch.NumRanks()),
+	}
+	if spec.Observer != nil {
+		spec.Observer.RunStarted(RunInfo{
+			Backend:  name,
+			Stats:    st,
+			Workers:  workers,
+			Parallel: parallel,
+		})
 	}
 
 	start := time.Now()
@@ -131,6 +154,9 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		Ops:      res.Ops,
 		Events:   res.Events,
 		Backend:  name,
+		Ranks:    sch.NumRanks(),
+		Sched:    st,
+		Done:     runBE.tally(),
 		Workers:  workers,
 		Parallel: parallel,
 		Wall:     wall,
@@ -145,10 +171,20 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	return out, nil
 }
 
-// observedBackend decorates a backend to intercept the completion callback
-// for observer streaming and cooperative cancellation. It adds no engine
-// events and leaves the completion delivery order untouched, so a run with
-// an observer is bit-identical to one without.
+// observedBackend decorates every run's backend to intercept the
+// completion callback for observer streaming, per-kind op tallies (the
+// Result.Done accounting) and cooperative cancellation. It adds no engine
+// events and leaves the completion delivery order untouched, so the
+// decoration never changes simulated results.
+//
+// The tally is counted rather than copied from the schedule on purpose:
+// it is the run's evidence that every op completed exactly once, so an
+// engine bug that dropped or double-delivered completions would surface
+// as a Done/Sched mismatch in the result tests. Counters are per rank
+// and non-atomic — completions run on the op's rank lane (the scheduler
+// relies on the same guarantee for its own bookkeeping), and the lanes
+// join before Run reads the sums — so the hot path pays one plain
+// increment, with no cross-worker cache-line contention.
 type observedBackend struct {
 	inner core.Backend
 	sch   *goal.Schedule
@@ -157,7 +193,31 @@ type observedBackend struct {
 	total int64
 	ctx   context.Context
 	stop  interface{ Stop() }
-	done  atomic.Int64
+	// track gates the global completion counter: it only feeds observer
+	// progress events and ctx polling, so untracked runs skip the shared
+	// atomic entirely.
+	track   bool
+	done    atomic.Int64
+	perRank []paddedTally
+}
+
+// paddedTally pads each rank's counters to a cache line so neighbouring
+// ranks on different worker lanes do not false-share.
+type paddedTally struct {
+	Tally
+	_ [64 - unsafe.Sizeof(Tally{})%64]byte
+}
+
+// tally sums the per-rank completion counters; callers may only invoke it
+// after the run has joined its lanes.
+func (o *observedBackend) tally() Tally {
+	var t Tally
+	for i := range o.perRank {
+		t.Calcs += o.perRank[i].Calcs
+		t.Sends += o.perRank[i].Sends
+		t.Recvs += o.perRank[i].Recvs
+	}
+	return t
 }
 
 // ctxCheckMask throttles ctx polling to every 1024 op completions.
@@ -170,20 +230,32 @@ func (o *observedBackend) Name() string { return o.inner.Name() }
 // callback.
 func (o *observedBackend) Setup(nranks int, eng engine.Sim, over core.CompletionFunc) error {
 	return o.inner.Setup(nranks, eng, func(h core.Handle, at simtime.Time) {
-		n := o.done.Add(1)
-		if o.obs != nil {
-			o.obs.OpCompleted(OpEvent{
-				Rank: h.Rank(),
-				Op:   h.Op(),
-				Kind: o.sch.Ranks[h.Rank()].Ops[h.Op()].Kind,
-				At:   at,
-			})
-			if o.every > 0 && n%o.every == 0 {
-				o.obs.Progress(ProgressEvent{Done: n, Total: o.total, At: at})
-			}
+		kind := o.sch.Ranks[h.Rank()].Ops[h.Op()].Kind
+		t := &o.perRank[h.Rank()]
+		switch kind {
+		case goal.KindCalc:
+			t.Calcs++
+		case goal.KindSend:
+			t.Sends++
+		case goal.KindRecv:
+			t.Recvs++
 		}
-		if o.ctx.Done() != nil && n&ctxCheckMask == 0 && o.ctx.Err() != nil {
-			o.stop.Stop()
+		if o.track {
+			n := o.done.Add(1)
+			if o.obs != nil {
+				o.obs.OpCompleted(OpEvent{
+					Rank: h.Rank(),
+					Op:   h.Op(),
+					Kind: kind,
+					At:   at,
+				})
+				if o.every > 0 && n%o.every == 0 {
+					o.obs.Progress(ProgressEvent{Done: n, Total: o.total, At: at})
+				}
+			}
+			if o.ctx.Done() != nil && n&ctxCheckMask == 0 && o.ctx.Err() != nil {
+				o.stop.Stop()
+			}
 		}
 		over(h, at)
 	})
