@@ -1,31 +1,47 @@
-// Command atlahs runs a GOAL schedule on a chosen network backend — the
+// Command atlahs runs a workload on a chosen network backend — the
 // toolchain's simulation entry point, a thin shell over the sim facade.
 //
 // Usage:
 //
-//	atlahs -goal sched.bin [-backend lgs|pkt|fluid] [-params ai|hpc]
-//	       [-hosts-per-tor 4] [-oversub 1] [-cc mprdma] [-seed 1]
-//	       [-workers 1] [-progress 0]
+//	atlahs -goal sched.bin [flags]            # pre-converted GOAL schedule
+//	atlahs -trace run.nsys [flags]            # direct trace replay
+//	atlahs -trace run.bin -frontend goal      # explicit frontend
 //
-// The GOAL file may be textual or binary (auto-detected). The lgs backend
-// is topology-oblivious; pkt and fluid build a two-level fat tree sized to
-// the schedule. -workers > 1 runs the lgs backend on the sharded parallel
-// engine (results bit-identical to serial); pkt and fluid share fabric
-// state, so asking them for workers is an error, not a silent fallback.
+// Flags: [-backend lgs|pkt|fluid] [-params ai|hpc] [-hosts-per-tor 4]
+// [-oversub 1] [-cc mprdma] [-seed 1] [-workers 1] [-progress 0] [-json]
+//
+// -goal takes a GOAL file, textual or binary (auto-detected). -trace takes
+// a raw application trace (nsys report, MPI trace, SPC block-I/O trace,
+// Chakra ET, or a GOAL file) and ingests it through the workload-frontend
+// registry: the format is sniffed from the content (extension as
+// fallback), or named explicitly with -frontend; conversion uses that
+// frontend's defaults (use the sim library for tuned conversion). -json
+// prints the run's result — runtime, schedule accounting, executed-op
+// tallies, fabric counters — as one JSON object on stdout.
+//
+// The lgs backend is topology-oblivious; pkt and fluid build a two-level
+// fat tree sized to the schedule. -workers > 1 runs the lgs backend on the
+// sharded parallel engine (results bit-identical to serial); pkt and fluid
+// share fabric state, so asking them for workers is an error, not a
+// silent fallback.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 
 	"atlahs/sim"
 )
 
 func main() {
 	goalPath := flag.String("goal", "", "GOAL schedule file (text or binary)")
+	tracePath := flag.String("trace", "", "raw application trace to replay through a workload frontend")
+	frontendName := flag.String("frontend", "", "workload frontend for -trace: "+strings.Join(sim.Frontends(), ", ")+" (default: auto-detect)")
 	be := flag.String("backend", "lgs", "backend: lgs, pkt or fluid")
 	params := flag.String("params", "ai", "LogGOPS parameter set: ai or hpc")
 	hostsPerToR := flag.Int("hosts-per-tor", 4, "fat-tree hosts per ToR (pkt/fluid)")
@@ -35,19 +51,30 @@ func main() {
 	calcScale := flag.Float64("calc-scale", 1.0, "hardware adaptation factor for calc times")
 	workers := flag.Int("workers", 1, "worker goroutines for the parallel engine (lgs only; 0 = GOMAXPROCS)")
 	progress := flag.Int64("progress", 0, "print progress every N completed ops (0 = off)")
+	jsonOut := flag.Bool("json", false, "print the result as one JSON object on stdout")
 	flag.Parse()
-	if *goalPath == "" {
+	if (*goalPath == "") == (*tracePath == "") {
+		fmt.Fprintln(os.Stderr, "atlahs: set exactly one of -goal or -trace")
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *frontendName != "" && *tracePath == "" {
+		fail(fmt.Errorf("-frontend only applies to -trace"))
+	}
 
 	spec := sim.Spec{
-		GoalPath:      *goalPath,
-		Backend:       *be,
-		CalcScale:     *calcScale,
-		Seed:          *seed,
-		Observer:      consoleObserver{},
-		ProgressEvery: *progress,
+		GoalPath:  *goalPath,
+		TracePath: *tracePath,
+		Frontend:  *frontendName,
+		Backend:   *be,
+		CalcScale: *calcScale,
+		Seed:      *seed,
+	}
+	if !*jsonOut {
+		// Console rendering would corrupt the single-object JSON contract,
+		// so the streaming observer only runs in text mode.
+		spec.Observer = consoleObserver{}
+		spec.ProgressEvery = *progress
 	}
 	// The CLI's -workers 0 means "all cores"; the library's Workers 0 means
 	// serial.
@@ -90,7 +117,83 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, res); err != nil {
+			fail(err)
+		}
+		return
+	}
 	fmt.Printf("backend %s: simulated runtime %s\n", res.Backend, res.Runtime)
+}
+
+// jsonResult is the -json rendering of a sim.Result: stable lower-case
+// keys, the simulated runtime both human-readable and in picoseconds.
+type jsonResult struct {
+	Backend   string    `json:"backend"`
+	Runtime   string    `json:"runtime"`
+	RuntimePs int64     `json:"runtime_ps"`
+	Ranks     int       `json:"ranks"`
+	Workers   int       `json:"workers"`
+	Parallel  bool      `json:"parallel"`
+	Ops       int64     `json:"ops"`
+	Events    uint64    `json:"events"`
+	Sched     jsonSched `json:"sched"`
+	Done      jsonTally `json:"done"`
+	Net       *jsonNet  `json:"net,omitempty"`
+}
+
+type jsonSched struct {
+	Ops       int64 `json:"ops"`
+	Sends     int64 `json:"sends"`
+	Recvs     int64 `json:"recvs"`
+	Calcs     int64 `json:"calcs"`
+	SendBytes int64 `json:"send_bytes"`
+	DepEdges  int64 `json:"dep_edges"`
+}
+
+type jsonTally struct {
+	Calcs int64 `json:"calcs"`
+	Sends int64 `json:"sends"`
+	Recvs int64 `json:"recvs"`
+}
+
+type jsonNet struct {
+	PktsSent    uint64 `json:"pkts_sent"`
+	Drops       uint64 `json:"drops"`
+	Trims       uint64 `json:"trims"`
+	Retransmits uint64 `json:"retransmits"`
+}
+
+func writeJSON(w *os.File, res *sim.Result) error {
+	out := jsonResult{
+		Backend:   res.Backend,
+		Runtime:   res.Runtime.String(),
+		RuntimePs: int64(res.Runtime),
+		Ranks:     res.Ranks,
+		Workers:   res.Workers,
+		Parallel:  res.Parallel,
+		Ops:       res.Ops,
+		Events:    res.Events,
+		Sched: jsonSched{
+			Ops:       res.Sched.Ops,
+			Sends:     res.Sched.Sends,
+			Recvs:     res.Sched.Recvs,
+			Calcs:     res.Sched.Calcs,
+			SendBytes: res.Sched.SendBytes,
+			DepEdges:  res.Sched.DepEdges,
+		},
+		Done: jsonTally{Calcs: res.Done.Calcs, Sends: res.Done.Sends, Recvs: res.Done.Recvs},
+	}
+	if res.Net != nil {
+		out.Net = &jsonNet{
+			PktsSent:    res.Net.PktsSent,
+			Drops:       res.Net.Drops,
+			Trims:       res.Net.Trims,
+			Retransmits: res.Net.Retransmits,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
 }
 
 // consoleObserver renders run callbacks in the CLI's line format.

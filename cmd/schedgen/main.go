@@ -1,97 +1,76 @@
 // Command schedgen converts application traces into GOAL schedules — the
-// trace-to-GOAL stage of the toolchain (paper Fig 2, green path).
+// trace-to-GOAL stage of the toolchain (paper Fig 2, green path), a thin
+// shell over the sim facade's workload-frontend registry.
 //
 // Usage:
 //
-//	schedgen -format mpi|nsys|spc -in trace -out sched.bin [-text]
-//	         [-gpus-per-node 4] [-channels 1] [-hosts 4]
+//	schedgen -in trace -out sched.bin [-frontend nsys|mpi|spc|chakra|goal]
+//	         [-text] [-gpus-per-node 4] [-channels 1] [-hosts 4]
 //
-// Formats: "mpi" (liballprof-style MPI trace via Schedgen), "nsys"
-// (nsys-like GPU report via the 4-stage NCCL pipeline), "spc" (SPC block
-// I/O trace via the Direct Drive model).
+// The input format is auto-detected (content sniffing, extension
+// fallback) unless -frontend names one. -gpus-per-node/-channels tune the
+// nsys conversion, -hosts the spc conversion; other frontends use their
+// defaults (the sim library exposes every knob).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"atlahs/internal/goal"
-	"atlahs/internal/storage/directdrive"
-	"atlahs/internal/trace/mpitrace"
-	"atlahs/internal/trace/ncclgoal"
-	"atlahs/internal/trace/nsys"
-	"atlahs/internal/trace/schedgen"
-	"atlahs/internal/trace/spc"
+	"atlahs/sim"
 )
 
 func main() {
-	format := flag.String("format", "", "input trace format: mpi, nsys or spc")
 	in := flag.String("in", "", "input trace file")
 	out := flag.String("out", "", "output GOAL file")
+	frontendName := flag.String("frontend", "", "workload frontend: "+strings.Join(sim.Frontends(), ", ")+" (default: auto-detect)")
 	text := flag.Bool("text", false, "write textual GOAL instead of binary")
 	gpusPerNode := flag.Int("gpus-per-node", 4, "nsys: GPUs grouped per node")
 	channels := flag.Int("channels", 1, "nsys: NCCL channels")
 	hosts := flag.Int("hosts", 4, "spc: Direct Drive client hosts")
 	flag.Parse()
-	if *format == "" || *in == "" || *out == "" {
+	if *in == "" || *out == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*in)
+	// The conversion knobs are per-frontend; hand each frontend its own
+	// config and let the registry resolve the converter — one open, one
+	// read, so piped inputs work too.
+	s, name, err := sim.ConvertTraceFileVia(*in, *frontendName, map[string]any{
+		"nsys": sim.NsysConfig{GPUsPerNode: *gpusPerNode, Channels: *channels},
+		"spc":  sim.SPCConfig{Hosts: *hosts},
+	})
 	if err != nil {
 		fail(err)
 	}
-	defer f.Close()
 
-	var s *goal.Schedule
-	switch *format {
-	case "mpi":
-		tr, err := mpitrace.Parse(f)
-		if err != nil {
-			fail(err)
-		}
-		if s, err = schedgen.Generate(tr, schedgen.Options{}); err != nil {
-			fail(err)
-		}
-	case "nsys":
-		rep, err := nsys.Parse(f)
-		if err != nil {
-			fail(err)
-		}
-		if s, err = ncclgoal.Generate(rep, ncclgoal.Config{GPUsPerNode: *gpusPerNode, Channels: *channels}); err != nil {
-			fail(err)
-		}
-	case "spc":
-		tr, err := spc.Parse(f)
-		if err != nil {
-			fail(err)
-		}
-		var layout *directdrive.Layout
-		if s, layout, err = directdrive.Generate(tr, directdrive.Config{Hosts: *hosts}); err != nil {
-			fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "schedgen: storage layout %v\n", layout)
-	default:
-		fail(fmt.Errorf("unknown format %q", *format))
-	}
-
-	o, err := os.Create(*out)
-	if err != nil {
-		fail(err)
-	}
-	defer o.Close()
-	if *text {
-		err = goal.WriteText(o, s)
-	} else {
-		err = goal.WriteBinary(o, s)
-	}
-	if err != nil {
+	if err := write(*out, s, *text); err != nil {
 		fail(err)
 	}
 	st := s.ComputeStats()
-	fmt.Fprintf(os.Stderr, "schedgen: wrote %d ranks, %d ops to %s\n", st.Ranks, st.Ops, *out)
+	fmt.Fprintf(os.Stderr, "schedgen: %s frontend: wrote %d ranks, %d ops to %s\n", name, st.Ranks, st.Ops, *out)
+}
+
+// write emits the schedule, propagating the close error (a full disk
+// surfaces on Close for buffered writes).
+func write(path string, s *sim.Schedule, text bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if text {
+		err = sim.WriteGOALText(f, s)
+	} else {
+		err = sim.WriteGOALBinary(f, s)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

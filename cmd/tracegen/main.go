@@ -1,6 +1,8 @@
 // Command tracegen generates synthetic application traces — stand-ins for
 // the instrumented runs of real systems (see DESIGN.md's substitution
-// table).
+// table). The emitted artifacts are raw traces in the formats the workload
+// frontends ingest, so they can be replayed directly: `atlahs -trace
+// trace.nsys` (or through sim.Spec{TracePath: ...}).
 //
 // Usage:
 //
@@ -12,11 +14,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"atlahs/internal/trace/spc"
 	"atlahs/internal/workload/hpcapps"
 	"atlahs/internal/workload/llm"
+	"atlahs/internal/workload/oltp"
 )
 
 func main() {
@@ -43,12 +46,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	f, err := os.Create(*out)
-	if err != nil {
-		fail(err)
-	}
-	defer f.Close()
-
+	var write func(io.Writer) error
 	switch *kind {
 	case "llm":
 		models := map[string]llm.Model{
@@ -69,10 +67,8 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		if _, err := rep.WriteTo(f); err != nil {
-			fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "tracegen: %d GPUs, %d records -> %s\n", rep.NGPUs, len(rep.Records), *out)
+		write = func(w io.Writer) error { _, err := rep.WriteTo(w); return err }
+		defer fmt.Fprintf(os.Stderr, "tracegen: %d GPUs, %d records -> %s\n", rep.NGPUs, len(rep.Records), *out)
 	case "hpc":
 		tr, err := hpcapps.Generate(hpcapps.Config{
 			App: hpcapps.App(*app), Ranks: *ranks, Steps: *steps, Seed: *seed,
@@ -80,20 +76,34 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		if _, err := tr.WriteTo(f); err != nil {
-			fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "tracegen: %d ranks -> %s\n", tr.NumRanks(), *out)
+		write = func(w io.Writer) error { _, err := tr.WriteTo(w); return err }
+		defer fmt.Fprintf(os.Stderr, "tracegen: %d ranks -> %s\n", tr.NumRanks(), *out)
 	case "storage":
-		tr := spc.GenerateFinancial(spc.FinancialConfig{Ops: *ops, Seed: *seed})
-		if _, err := tr.WriteTo(f); err != nil {
-			fail(err)
-		}
+		tr := oltp.GenerateFinancial(oltp.FinancialConfig{Ops: *ops, Seed: *seed})
+		write = func(w io.Writer) error { _, err := tr.WriteTo(w); return err }
 		st := tr.ComputeStats()
-		fmt.Fprintf(os.Stderr, "tracegen: %d ops (%.0f%% writes) -> %s\n", st.Ops, 100*st.WriteRatio, *out)
+		defer fmt.Fprintf(os.Stderr, "tracegen: %d ops (%.0f%% writes) -> %s\n", st.Ops, 100*st.WriteRatio, *out)
 	default:
 		fail(fmt.Errorf("unknown kind %q", *kind))
 	}
+	if err := emit(*out, write); err != nil {
+		fail(err)
+	}
+}
+
+// emit writes the trace to path, propagating the file's close error: a
+// full disk surfaces on Close for buffered writes, and swallowing it
+// would report a truncated trace as success.
+func emit(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

@@ -1,18 +1,19 @@
-// HPC validation flow (paper §5.3): trace an MPI application, convert the
-// trace with Schedgen under two collective-algorithm choices, and compare
-// the LGS prediction against the fluid-emulator "testbed".
+// HPC validation flow (paper §5.3): trace an MPI application, replay the
+// raw trace through the sim facade's "mpi" workload frontend under two
+// collective-algorithm choices (Schedgen's collective substitution,
+// declared in the frontend config), and compare the LGS prediction against
+// the fluid-emulator "testbed".
 //
 //	go run ./examples/hpc-mpi
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
 
-	"atlahs/internal/collective"
 	"atlahs/internal/simtime"
-	"atlahs/internal/trace/schedgen"
 	"atlahs/internal/workload/hpcapps"
 	"atlahs/sim"
 )
@@ -29,17 +30,20 @@ func main() {
 	}
 	fmt.Printf("traced HPCG: 32 ranks, %d MPI events\n\n", events)
 
-	for _, algo := range []collective.Algo{collective.Auto, collective.Ring} {
-		sch, err := schedgen.Generate(tr, schedgen.Options{
-			Algos: map[collective.Kind]collective.Algo{collective.Allreduce: algo},
-		})
-		if err != nil {
-			log.Fatal(err)
+	var raw bytes.Buffer
+	if _, err := tr.WriteTo(&raw); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, algo := range []sim.CollectiveAlgo{sim.AlgoAuto, sim.AlgoRing} {
+		feCfg := sim.MPIConfig{
+			Algos: map[sim.CollectiveKind]sim.CollectiveAlgo{sim.CollAllreduce: algo},
 		}
 		lgsRes, err := sim.Run(ctx, sim.Spec{
-			Schedule: sch,
-			Backend:  "lgs",
-			Config:   sim.LGSConfig{Params: sim.HPCParams()},
+			Trace:          raw.Bytes(), // "mpi" frontend, sniffed
+			FrontendConfig: feCfg,
+			Backend:        "lgs",
+			Config:         sim.LGSConfig{Params: sim.HPCParams()},
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -47,8 +51,9 @@ func main() {
 
 		// the fluid emulator plays the role of the measured system
 		fluidRes, err := sim.Run(ctx, sim.Spec{
-			Schedule: sch,
-			Backend:  "fluid",
+			Trace:          raw.Bytes(),
+			FrontendConfig: feCfg,
+			Backend:        "fluid",
 			Config: sim.FluidConfig{
 				HostsPerToR: 16,
 				Cores:       1,

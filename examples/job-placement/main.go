@@ -1,19 +1,23 @@
 // Job placement case study (paper §6.3): an AI job and an HPC job share an
 // oversubscribed cluster; packed allocation keeps traffic ToR-local while
-// random allocation drags it through the core.
+// interleaved allocation drags every job's rings through the core.
+//
+// Both jobs are declared as raw traces in one spec — the facade's
+// multi-job composition ingests each through its workload frontend
+// ("nsys" and "mpi", sniffed), lays the jobs out with the placement
+// policy, and runs the merged schedule as one simulation; per-job node
+// sets come back in Result.JobNodes.
 //
 //	go run ./examples/job-placement
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
 
-	"atlahs/internal/placement"
 	"atlahs/internal/simtime"
-	"atlahs/internal/trace/ncclgoal"
-	"atlahs/internal/trace/schedgen"
 	"atlahs/internal/workload/hpcapps"
 	"atlahs/internal/workload/llm"
 	"atlahs/sim"
@@ -31,8 +35,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	llama, err := ncclgoal.Generate(rep, ncclgoal.Config{GPUsPerNode: 4})
-	if err != nil {
+	var llamaTrace bytes.Buffer
+	if _, err := rep.WriteTo(&llamaTrace); err != nil {
 		log.Fatal(err)
 	}
 	// job B: LULESH on 4 nodes
@@ -40,34 +44,31 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	lulesh, err := schedgen.Generate(tr, schedgen.Options{})
-	if err != nil {
+	var luleshTrace bytes.Buffer
+	if _, err := tr.WriteTo(&luleshTrace); err != nil {
 		log.Fatal(err)
 	}
 
-	cluster := llama.NumRanks() + lulesh.NumRanks()
-	fmt.Printf("cluster: %d nodes (4:1 oversubscribed); Llama on %d, LULESH on %d\n\n",
-		cluster, llama.NumRanks(), lulesh.NumRanks())
+	jobs := []sim.JobSpec{
+		{Trace: llamaTrace.Bytes(), FrontendConfig: sim.NsysConfig{GPUsPerNode: 4}},
+		{Trace: luleshTrace.Bytes()},
+	}
 
-	for _, strat := range []placement.Strategy{placement.Packed, placement.RandomStrat} {
-		sets, err := placement.SplitCluster(cluster, []int{llama.NumRanks(), lulesh.NumRanks()}, strat, 13)
-		if err != nil {
-			log.Fatal(err)
-		}
-		merged, err := placement.Merge(cluster,
-			placement.Job{Sched: llama, Nodes: sets[0]},
-			placement.Job{Sched: lulesh, Nodes: sets[1]},
-		)
-		if err != nil {
-			log.Fatal(err)
-		}
+	first := true
+	for _, placement := range []string{"packed", "interleaved"} {
 		res, err := sim.Run(ctx, sim.Spec{
-			Schedule: merged,
-			Backend:  "pkt",
-			Config:   sim.PktConfig{HostsPerToR: 4, Cores: 1, CC: "mprdma", Seed: 9},
+			Jobs:      jobs,
+			Placement: placement,
+			Backend:   "pkt",
+			Config:    sim.PktConfig{HostsPerToR: 4, Cores: 1, CC: "mprdma", Seed: 9},
 		})
 		if err != nil {
 			log.Fatal(err)
+		}
+		if first {
+			fmt.Printf("cluster: %d nodes (4:1 oversubscribed); Llama on %d, LULESH on %d\n\n",
+				res.Ranks, len(res.JobNodes[0]), len(res.JobNodes[1]))
+			first = false
 		}
 		jobEnd := func(nodes []int) simtime.Duration {
 			var max simtime.Time
@@ -78,7 +79,7 @@ func main() {
 			}
 			return simtime.Duration(max)
 		}
-		fmt.Printf("%-8s allocation: Llama %v on nodes %v\n", strat, jobEnd(sets[0]), sets[0])
-		fmt.Printf("%19s LULESH %v on nodes %v\n", "", jobEnd(sets[1]), sets[1])
+		fmt.Printf("%-11s allocation: Llama %v on nodes %v\n", placement, jobEnd(res.JobNodes[0]), res.JobNodes[0])
+		fmt.Printf("%22s LULESH %v on nodes %v\n", "", jobEnd(res.JobNodes[1]), res.JobNodes[1])
 	}
 }

@@ -1,18 +1,20 @@
 // LLM training end to end: generate a distributed Llama training workload,
-// trace it into an nsys-like report, run the 4-stage GOAL pipeline, and
-// compare the message-level and packet-level backends — including a
-// "what-if" regrouping of the same GPU trace onto a different node count
-// (paper §3.1.2 stage 4).
+// trace it into an nsys-like report, and replay the raw trace directly
+// through the sim facade — the "nsys" workload frontend runs the 4-stage
+// GOAL pipeline under the hood — comparing the message-level and
+// packet-level backends, including a "what-if" regrouping of the same GPU
+// trace onto a different node count (paper §3.1.2 stage 4) declared purely
+// in the frontend config.
 //
 //	go run ./examples/llm-training
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
 
-	"atlahs/internal/trace/ncclgoal"
 	"atlahs/internal/workload/llm"
 	"atlahs/sim"
 )
@@ -34,25 +36,31 @@ func main() {
 		cfg.Model.Name, sum.GPUs, sum.Records, sum.Comms,
 		float64(sum.CollBytes)/(1<<20), float64(sum.P2PBytes)/1024)
 
-	for _, gpn := range []int{4, 2} {
-		sch, err := ncclgoal.Generate(rep, ncclgoal.Config{GPUsPerNode: gpn})
-		if err != nil {
-			log.Fatal(err)
-		}
-		st := sch.ComputeStats()
-		fmt.Printf("\n%d GPUs/node -> %d nodes: %d GOAL ops, %.2f MiB inter-node traffic\n",
-			gpn, sch.NumRanks(), st.Ops, float64(st.SendBytes)/(1<<20))
+	// Serialise the report: from here on everything flows through the
+	// facade exactly as it would from an nsys file on disk.
+	var raw bytes.Buffer
+	if _, err := rep.WriteTo(&raw); err != nil {
+		log.Fatal(err)
+	}
 
-		lgsRes, err := sim.Run(ctx, sim.Spec{Schedule: sch, Backend: "lgs"})
+	for _, gpn := range []int{4, 2} {
+		lgsRes, err := sim.Run(ctx, sim.Spec{
+			Trace:          raw.Bytes(), // "nsys" frontend, sniffed
+			FrontendConfig: sim.NsysConfig{GPUsPerNode: gpn},
+			Backend:        "lgs",
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		fmt.Printf("\n%d GPUs/node -> %d nodes: %d GOAL ops, %.2f MiB inter-node traffic\n",
+			gpn, lgsRes.Ranks, lgsRes.Sched.Ops, float64(lgsRes.Sched.SendBytes)/(1<<20))
 		fmt.Printf("  ATLAHS LGS:  %v\n", lgsRes.Runtime)
 
 		pktRes, err := sim.Run(ctx, sim.Spec{
-			Schedule: sch,
-			Backend:  "pkt",
-			Config:   sim.PktConfig{HostsPerToR: 4, Cores: 4, CC: "mprdma", Seed: 7},
+			Trace:          raw.Bytes(),
+			FrontendConfig: sim.NsysConfig{GPUsPerNode: gpn},
+			Backend:        "pkt",
+			Config:         sim.PktConfig{HostsPerToR: 4, Cores: 4, CC: "mprdma", Seed: 7},
 		})
 		if err != nil {
 			log.Fatal(err)

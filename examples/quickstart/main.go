@@ -1,6 +1,5 @@
-// Quickstart: build a GOAL schedule with the builder API, run it through
-// the sim facade on the LogGOPS message-level backend, and print the
-// simulated runtime.
+// Quickstart: build a GOAL schedule with the facade's builder API, run it
+// on the LogGOPS message-level backend, and print the simulated runtime.
 //
 //	go run ./examples/quickstart
 package main
@@ -11,7 +10,6 @@ import (
 	"log"
 	"os"
 
-	"atlahs/internal/goal"
 	"atlahs/sim"
 )
 
@@ -19,7 +17,7 @@ func main() {
 	// The schedule of paper Fig 3, extended into a 2-rank exchange:
 	// rank 0 computes on two parallel streams, then sends; rank 1 receives
 	// and answers.
-	b := goal.NewBuilder(2)
+	b := sim.NewBuilder(2)
 
 	r0 := b.Rank(0)
 	l1 := r0.Calc(100)       // calc 100 (ns) on stream 0
@@ -46,7 +44,7 @@ func main() {
 
 	// Print the schedule in the textual GOAL format.
 	fmt.Println("GOAL schedule:")
-	if err := goal.WriteText(os.Stdout, s); err != nil {
+	if err := sim.WriteGOALText(os.Stdout, s); err != nil {
 		log.Fatal(err)
 	}
 

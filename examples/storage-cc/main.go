@@ -3,38 +3,42 @@
 // times under MPRDMA (sender-based) and NDP (receiver-driven) congestion
 // control on an oversubscribed fat tree.
 //
+// The SPC trace is ingested through the sim facade's "spc" workload
+// frontend (sniffed from the bytes), which runs the Direct Drive
+// conversion declared in the frontend config.
+//
 //	go run ./examples/storage-cc
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
 
-	"atlahs/internal/storage/directdrive"
-	"atlahs/internal/trace/spc"
+	"atlahs/internal/workload/oltp"
 	"atlahs/sim"
 )
 
 func main() {
 	ctx := context.Background()
-	trace := spc.GenerateFinancial(spc.FinancialConfig{Ops: 2000, Seed: 42})
+	trace := oltp.GenerateFinancial(oltp.FinancialConfig{Ops: 2000, Seed: 42})
 	st := trace.ComputeStats()
 	fmt.Printf("trace: %d ops, %.0f%% writes, mean request %.0f B, %.1f ms span\n",
 		st.Ops, 100*st.WriteRatio, st.MeanBytes, st.Duration*1e3)
 
-	sch, layout, err := directdrive.Generate(trace, directdrive.Config{Hosts: 4, CCS: 2, BSS: 8})
-	if err != nil {
+	var raw bytes.Buffer
+	if _, err := trace.WriteTo(&raw); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("storage system: %v\n\n", layout)
 
-	for _, cc := range []string{"mprdma", "ndp"} {
+	for i, cc := range []string{"mprdma", "ndp"} {
 		// 8:1 oversubscribed two-level fat tree
 		mct := &sim.Sample{}
 		res, err := sim.Run(ctx, sim.Spec{
-			Schedule: sch,
-			Backend:  "pkt",
+			Trace:          raw.Bytes(), // "spc" frontend, sniffed
+			FrontendConfig: sim.SPCConfig{Hosts: 4, CCS: 2, BSS: 8},
+			Backend:        "pkt",
 			Config: sim.PktConfig{
 				HostsPerToR: 8,
 				Cores:       1,
@@ -45,6 +49,10 @@ func main() {
 		})
 		if err != nil {
 			log.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("storage system: %d ranks (4 hosts + 2 CCS + 8 BSS + MDS/GS/SLB), %d GOAL ops\n\n",
+				res.Ranks, res.Sched.Ops)
 		}
 		fmt.Printf("%-7s mean MCT %6.2f µs   p99 %7.2f µs   max %7.2f µs   (drops %d, trims %d)\n",
 			cc, mct.Mean(), mct.Percentile(99), mct.Max(), res.Net.Drops, res.Net.Trims)

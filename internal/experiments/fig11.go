@@ -5,7 +5,7 @@ import (
 	"io"
 
 	"atlahs/internal/storage/directdrive"
-	"atlahs/internal/trace/spc"
+	"atlahs/internal/workload/oltp"
 	"atlahs/results"
 )
 
@@ -52,7 +52,8 @@ func Fig11(w io.Writer, mode Mode, workers int) (*Fig11Result, error) {
 // (receiver-driven) message completion times on a fully provisioned versus
 // an 8:1 oversubscribed fat tree. Receiver-driven control cannot see
 // in-network congestion away from the receiver, so NDP's tail degrades
-// under oversubscription.
+// under oversubscription. The four (topology, CC) cells fan out across up
+// to `workers` goroutines; results are identical for any budget.
 func ComputeFig11(mode Mode, workers int) (*Fig11Result, error) {
 	ops := 5000
 	hosts := 8
@@ -60,7 +61,7 @@ func ComputeFig11(mode Mode, workers int) (*Fig11Result, error) {
 		ops = 400
 		hosts = 4
 	}
-	tr := spc.GenerateFinancial(spc.FinancialConfig{Ops: ops, Seed: 77})
+	tr := oltp.GenerateFinancial(oltp.FinancialConfig{Ops: ops, Seed: 77})
 	st := tr.ComputeStats()
 
 	sch, layout, err := directdrive.Generate(tr, directdrive.Config{Hosts: hosts, CCS: 2, BSS: 8})
@@ -76,40 +77,45 @@ func ComputeFig11(mode Mode, workers int) (*Fig11Result, error) {
 		Layout:      fmt.Sprintf("%v", layout),
 	}
 	dom := AIDomain()
-	get := func(topoLabel string, oversub int, cc string, seed uint64) (*Fig11Cell, error) {
-		tp, err := FatTree(sch.NumRanks(), 4, oversub, dom)
+	// The four (topology, CC) cells are independent packet simulations, so
+	// they fan out across the worker budget; cells land at their index.
+	points := []struct {
+		label   string
+		oversub int
+		cc      string
+		seed    uint64
+	}{
+		{"no oversubscription", 1, "mprdma", 1},
+		{"no oversubscription", 1, "ndp", 1},
+		{"8:1 oversubscription", 8, "mprdma", 1},
+		{"8:1 oversubscription", 8, "ndp", 1},
+	}
+	cells := make([]Fig11Cell, len(points))
+	err = ForEach(workers, len(points), func(i int) error {
+		p := points[i]
+		tp, err := FatTree(sch.NumRanks(), 4, p.oversub, dom)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		run, err := RunPkt(sch, tp, cc, seed, dom)
+		run, err := RunPkt(sch, tp, p.cc, p.seed, dom)
 		if err != nil {
-			return nil, fmt.Errorf("fig11 %s/%s: %w", topoLabel, cc, err)
+			return fmt.Errorf("fig11 %s/%s: %w", p.label, p.cc, err)
 		}
-		cell := &Fig11Cell{
-			Topology: topoLabel,
-			CC:       cc,
+		cells[i] = Fig11Cell{
+			Topology: p.label,
+			CC:       p.cc,
 			MeanUs:   run.MCT.Mean(),
 			P99Us:    run.MCT.Percentile(99),
 			MaxUs:    run.MCT.Max(),
 			Msgs:     run.MCT.N(),
 		}
-		res.Cells = append(res.Cells, *cell)
-		return cell, nil
-	}
-	if _, err := get("no oversubscription", 1, "mprdma", 1); err != nil {
-		return nil, err
-	}
-	if _, err := get("no oversubscription", 1, "ndp", 1); err != nil {
-		return nil, err
-	}
-	mp8, err := get("8:1 oversubscription", 8, "mprdma", 1)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	ndp8, err := get("8:1 oversubscription", 8, "ndp", 1)
-	if err != nil {
-		return nil, err
-	}
+	res.Cells = cells
+	mp8, ndp8 := &cells[2], &cells[3]
 	res.NDPMeanDeltaPct = 100 * (ndp8.MeanUs - mp8.MeanUs) / mp8.MeanUs
 	res.NDPP99DeltaPct = 100 * (ndp8.P99Us - mp8.P99Us) / mp8.P99Us
 	res.NDPMaxDeltaPct = 100 * (ndp8.MaxUs - mp8.MaxUs) / mp8.MaxUs

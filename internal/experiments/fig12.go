@@ -47,7 +47,8 @@ func Fig12(w io.Writer, mode Mode, workers int) (*Fig12Result, error) {
 // sharply. The training job's nodes are interleaved across ToRs as real
 // schedulers allocate them, pushing the DP ring through the core. The
 // packet-drop counter is the statistic only packet-level simulation
-// provides.
+// provides. The two topology points fan out across up to `workers`
+// goroutines; results are identical for any budget.
 func ComputeFig12(mode Mode, workers int) (*Fig12Result, error) {
 	dom := AIDomain()
 	dp := 64
@@ -86,29 +87,39 @@ func ComputeFig12(mode Mode, workers int) (*Fig12Result, error) {
 	}
 
 	res := &Fig12Result{Mode: mode}
-	for _, c := range []struct {
+	// The two topology points are independent packet simulations; they fan
+	// out across the worker budget and land at their index.
+	cases := []struct {
 		label   string
 		oversub int
 	}{
 		{"no oversubscription", 1},
 		{"4:1 oversubscription", 4},
-	} {
+	}
+	rows := make([]Fig12Row, len(cases))
+	err = ForEach(workers, len(cases), func(i int) error {
+		c := cases[i]
 		tp, err := FatTree(nodes, hostsPerToR, c.oversub, dom)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pkt, err := RunPkt(sch, tp, "mprdma", 3, dom)
 		if err != nil {
-			return nil, fmt.Errorf("fig12 %s: %w", c.label, err)
+			return fmt.Errorf("fig12 %s: %w", c.label, err)
 		}
-		res.Rows = append(res.Rows, Fig12Row{
+		rows[i] = Fig12Row{
 			Topology: c.label,
 			LGS:      lgs,
 			Pkt:      pkt.Runtime,
 			GapPct:   PercentErr(lgs, pkt.Runtime),
 			Drops:    pkt.Stats.Drops,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

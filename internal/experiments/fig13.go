@@ -50,7 +50,8 @@ func Fig13(w io.Writer, mode Mode, workers int) (*Fig13Result, error) {
 // cluster. Packed allocation keeps each job's traffic local to its ToRs;
 // random allocation forces it through the oversubscribed core, inflating
 // the communication-bound job's runtime far more than the compute-bound
-// one.
+// one. The two allocation strategies fan out across up to `workers`
+// goroutines; results are identical for any budget.
 func ComputeFig13(mode Mode, workers int) (*Fig13Result, error) {
 	dom := AIDomain()
 	llamaNodes := 8
@@ -95,25 +96,31 @@ func ComputeFig13(mode Mode, workers int) (*Fig13Result, error) {
 		LULESHNodes:  luleshSched.NumRanks(),
 	}
 
-	for _, strat := range []placement.Strategy{placement.Packed, placement.RandomStrat} {
+	// The two allocation strategies are independent packet simulations
+	// over the same (read-only) job schedules; they fan out across the
+	// worker budget and land at their index.
+	strats := []placement.Strategy{placement.Packed, placement.RandomStrat}
+	rows := make([]Fig13Row, len(strats))
+	err = ForEach(workers, len(strats), func(i int) error {
+		strat := strats[i]
 		sets, err := placement.SplitCluster(cluster, []int{llamaSched.NumRanks(), luleshSched.NumRanks()}, strat, 99)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		merged, err := placement.Merge(cluster,
 			placement.Job{Sched: llamaSched, Nodes: sets[0]},
 			placement.Job{Sched: luleshSched, Nodes: sets[1]},
 		)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tp, err := FatTree(cluster, 4, 4, dom)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		run, err := RunPkt(merged, tp, "mprdma", 5, dom)
 		if err != nil {
-			return nil, fmt.Errorf("fig13 %v: %w", strat, err)
+			return fmt.Errorf("fig13 %v: %w", strat, err)
 		}
 		jobEnd := func(nodes []int) simtime.Duration {
 			var max simtime.Time
@@ -124,8 +131,13 @@ func ComputeFig13(mode Mode, workers int) (*Fig13Result, error) {
 			}
 			return simtime.Duration(max)
 		}
-		res.Rows = append(res.Rows, Fig13Row{Strategy: strat.String(), Llama: jobEnd(sets[0]), LULESH: jobEnd(sets[1])})
+		rows[i] = Fig13Row{Strategy: strat.String(), Llama: jobEnd(sets[0]), LULESH: jobEnd(sets[1])}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	res.LlamaDeltaPct = 100 * (float64(res.Rows[1].Llama) - float64(res.Rows[0].Llama)) / float64(res.Rows[0].Llama)
 	res.LULESHDeltaPct = 100 * (float64(res.Rows[1].LULESH) - float64(res.Rows[0].LULESH)) / float64(res.Rows[0].LULESH)
 	return res, nil

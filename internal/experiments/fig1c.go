@@ -45,7 +45,8 @@ func Fig1C(w io.Writer, mode Mode, workers int) (*Fig1CResult, error) {
 // microbenchmarks, but replayed LLM training traffic — DP ring allreduces
 // congesting multi-hop paths shared with PP victim flows (Fig 1B) —
 // exposes Swift's weakness: its single end-to-end delay measurement cannot
-// localise the congested hop.
+// localise the congested hop. Workload points fan out across up to
+// `workers` goroutines; results are identical for any budget.
 func ComputeFig1C(mode Mode, workers int) (*Fig1CResult, error) {
 	dom := AIDomain()
 
@@ -93,31 +94,41 @@ func ComputeFig1C(mode Mode, workers int) (*Fig1CResult, error) {
 		{"permutation (synthetic)", perm, 4, 1},
 		{"Llama 7B training iteration", llmSched, 2, 2},
 	}
-	for _, c := range cases {
+	// Each workload's MPRDMA/Swift pair is an independent simulation
+	// stack; workloads fan out across the worker budget and rows land at
+	// their index.
+	rows := make([]Fig1CRow, len(cases))
+	err = ForEach(workers, len(cases), func(i int) error {
+		c := cases[i]
 		nodes := c.sched.NumRanks()
 		tp1, err := FatTree(nodes, c.hostsPerToR, c.oversub, dom)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mp, err := RunPkt(c.sched, tp1, "mprdma", 1, dom)
 		if err != nil {
-			return nil, fmt.Errorf("fig1c %s mprdma: %w", c.name, err)
+			return fmt.Errorf("fig1c %s mprdma: %w", c.name, err)
 		}
 		tp2, err := FatTree(nodes, c.hostsPerToR, c.oversub, dom)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sw, err := RunPkt(c.sched, tp2, "swift", 1, dom)
 		if err != nil {
-			return nil, fmt.Errorf("fig1c %s swift: %w", c.name, err)
+			return fmt.Errorf("fig1c %s swift: %w", c.name, err)
 		}
-		res.Rows = append(res.Rows, Fig1CRow{
+		rows[i] = Fig1CRow{
 			Workload: c.name,
 			MPRDMA:   mp.Runtime,
 			Swift:    sw.Runtime,
 			DeltaPct: 100 * (float64(sw.Runtime) - float64(mp.Runtime)) / float64(mp.Runtime),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

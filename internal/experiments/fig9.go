@@ -38,37 +38,47 @@ func Fig9(w io.Writer, mode Mode, workers int) (*Fig9Result, error) {
 // ComputeFig9 reproduces the trace-size comparison (paper Fig 9): the
 // binary GOAL files ATLAHS simulates from are consistently smaller than
 // the Chakra execution traces AstraSim consumes (1.8x-10.6x in the paper).
+// Configuration points fan out across up to `workers` goroutines; rows
+// land at their index, so results are identical for any budget.
 func ComputeFig9(mode Mode, workers int) (*Fig9Result, error) {
 	res := &Fig9Result{Mode: mode}
-	for i, c := range fig8Cases(mode) {
+	cases := fig8Cases(mode)
+	rows := make([]Fig9Row, len(cases))
+	err := ForEach(workers, len(cases), func(i int) error {
+		c := cases[i]
 		cfg := llm.Config{Model: c.Model, Par: c.Par, Scale: c.Scale, Seed: uint64(40 + i)}
 		rep, err := llm.Generate(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sch, err := ncclgoal.Generate(rep, ncclgoal.Config{GPUsPerNode: c.GPN})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var goalCW countingWriter
 		if err := goal.WriteBinary(&goalCW, sch); err != nil {
-			return nil, err
+			return err
 		}
 		ctr, err := llm.GenerateChakra(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var chakraCW countingWriter
 		if _, err := ctr.WriteTo(&chakraCW); err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, Fig9Row{
+		rows[i] = Fig9Row{
 			Label:       c.Label,
 			GOALBytes:   goalCW.n,
 			ChakraBytes: chakraCW.n,
 			Ratio:       float64(chakraCW.n) / float64(goalCW.n),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -172,3 +172,33 @@ func TestRunAllIsReentrant(t *testing.T) {
 		}
 	}
 }
+
+// TestFannedFiguresParallelPoints: every remaining figure's per-call
+// fan-out (fig9, fig11, fig12, fig13, fig1c, table1 — fig8 and fig10 have
+// their own suites above) must render byte-identically for any worker
+// budget; none of these reports prints host wall-clock fields.
+func TestFannedFiguresParallelPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full quick sweeps per figure")
+	}
+	for _, name := range []string{"fig9", "fig11", "fig12", "fig13", "fig1c", "table1"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			render := func(workers int) string {
+				rep, err := computers[name](Quick, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				rep.Render(&buf)
+				return buf.String()
+			}
+			serial := render(1)
+			parallel := render(3)
+			if serial != parallel {
+				t.Fatalf("%s output diverged:\n--- serial ---\n%s\n--- parallel ---\n%s", name, serial, parallel)
+			}
+		})
+	}
+}

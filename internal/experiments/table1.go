@@ -51,6 +51,8 @@ func Table1(w io.Writer, mode Mode, workers int) (*Table1Result, error) {
 // (nsys report / MPI trace) versus the generated binary GOAL file. Byte
 // counts are scaled (recorded per row in the config column); the
 // comparison target is the relative size of GOAL versus the raw traces.
+// Configuration points fan out across up to `workers` goroutines; rows
+// land at their index, so results are identical for any budget.
 func ComputeTable1(mode Mode, workers int) (*Table1Result, error) {
 	res := &Table1Result{Mode: mode}
 
@@ -74,26 +76,6 @@ func ComputeTable1(mode Mode, workers int) (*Table1Result, error) {
 			aiCase{llm.MoE8x70B(), llm.Parallelism{TP: 4, PP: 8, DP: 8, EP: 8, GlobalBatch: 128}, 1e-4, 4, "256 GPUs 64 Nodes"},
 		)
 	}
-	for _, c := range aiCases {
-		rep, err := llm.Generate(llm.Config{Model: c.model, Par: c.par, Scale: c.scale, Seed: 33})
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s: %w", c.model.Name, err)
-		}
-		var traceCW countingWriter
-		if _, err := rep.WriteTo(&traceCW); err != nil {
-			return nil, err
-		}
-		sch, err := ncclgoal.Generate(rep, ncclgoal.Config{GPUsPerNode: c.gpn})
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s goal: %w", c.model.Name, err)
-		}
-		var goalCW countingWriter
-		if err := goal.WriteBinary(&goalCW, sch); err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, Table1Row{App: c.model.Name, Config: c.label, TraceBytes: traceCW.n, GOALBytes: goalCW.n})
-	}
-
 	type hpcCase struct {
 		app   hpcapps.App
 		ranks int
@@ -116,30 +98,62 @@ func ComputeTable1(mode Mode, workers int) (*Table1Result, error) {
 	if mode == Quick {
 		steps = 2
 	}
-	for _, c := range hpcCases {
+
+	// AI and HPC configurations share one index space so every row fans
+	// out across the worker budget; rows land at their index, keeping the
+	// table's order identical for any budget.
+	rows := make([]Table1Row, len(aiCases)+len(hpcCases))
+	err := ForEach(workers, len(rows), func(i int) error {
+		if i < len(aiCases) {
+			c := aiCases[i]
+			rep, err := llm.Generate(llm.Config{Model: c.model, Par: c.par, Scale: c.scale, Seed: 33})
+			if err != nil {
+				return fmt.Errorf("table1 %s: %w", c.model.Name, err)
+			}
+			var traceCW countingWriter
+			if _, err := rep.WriteTo(&traceCW); err != nil {
+				return err
+			}
+			sch, err := ncclgoal.Generate(rep, ncclgoal.Config{GPUsPerNode: c.gpn})
+			if err != nil {
+				return fmt.Errorf("table1 %s goal: %w", c.model.Name, err)
+			}
+			var goalCW countingWriter
+			if err := goal.WriteBinary(&goalCW, sch); err != nil {
+				return err
+			}
+			rows[i] = Table1Row{App: c.model.Name, Config: c.label, TraceBytes: traceCW.n, GOALBytes: goalCW.n}
+			return nil
+		}
+		c := hpcCases[i-len(aiCases)]
 		tr, err := hpcapps.Generate(hpcapps.Config{App: c.app, Ranks: c.ranks, Steps: steps, Seed: 33})
 		if err != nil {
-			return nil, fmt.Errorf("table1 %s: %w", c.app, err)
+			return fmt.Errorf("table1 %s: %w", c.app, err)
 		}
 		var traceCW countingWriter
 		if _, err := tr.WriteTo(&traceCW); err != nil {
-			return nil, err
+			return err
 		}
 		sch, err := schedgen.Generate(tr, schedgen.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("table1 %s goal: %w", c.app, err)
+			return fmt.Errorf("table1 %s goal: %w", c.app, err)
 		}
 		var goalCW countingWriter
 		if err := goal.WriteBinary(&goalCW, sch); err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, Table1Row{
+		rows[i] = Table1Row{
 			App:        string(c.app),
 			Config:     fmt.Sprintf("%d Procs %d Nodes", c.ranks, c.nodes),
 			TraceBytes: traceCW.n,
 			GOALBytes:  goalCW.n,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -29,6 +29,18 @@ import (
 
 const binaryMagic = "GOALB1\n"
 
+// preallocCap bounds the capacity any single decode allocation may claim
+// from a declared element count before the elements are actually read.
+const preallocCap = 1 << 16
+
+// capped clamps a declared count to the pre-allocation bound.
+func capped(n uint64) int {
+	if n > preallocCap {
+		return preallocCap
+	}
+	return int(n)
+}
+
 // WriteBinary encodes the schedule in compact binary format.
 func WriteBinary(w io.Writer, s *Schedule) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
@@ -103,9 +115,14 @@ func ReadBinary(r io.Reader) (*Schedule, error) {
 	if nranks == 0 || nranks > 1<<24 {
 		return nil, fmt.Errorf("goal: implausible rank count %d", nranks)
 	}
-	s := &Schedule{Ranks: make([]RankProgram, nranks)}
-	for r := range s.Ranks {
-		rp := &s.Ranks[r]
+	// Declared counts are attacker-controlled in a malformed (or hostile)
+	// file, so nothing is pre-allocated beyond preallocCap: slices grow as
+	// elements actually decode, and a count pointing past the real input
+	// fails at EOF after bounded memory instead of allocating gigabytes up
+	// front (found by FuzzBinaryRoundTrip).
+	s := &Schedule{Ranks: make([]RankProgram, 0, capped(nranks))}
+	for r := 0; r < int(nranks); r++ {
+		var rp RankProgram
 		nops, err := getU()
 		if err != nil {
 			return nil, fmt.Errorf("goal: rank %d op count: %w", r, err)
@@ -113,9 +130,9 @@ func ReadBinary(r io.Reader) (*Schedule, error) {
 		if nops > 1<<30 {
 			return nil, fmt.Errorf("goal: rank %d: implausible op count %d", r, nops)
 		}
-		rp.Ops = make([]Op, nops)
-		for i := range rp.Ops {
-			op := &rp.Ops[i]
+		rp.Ops = make([]Op, 0, capped(nops))
+		for i := 0; i < int(nops); i++ {
+			var op Op
 			flags, err := br.ReadByte()
 			if err != nil {
 				return nil, fmt.Errorf("goal: rank %d op %d: %w", r, i, err)
@@ -148,26 +165,28 @@ func ReadBinary(r io.Reader) (*Schedule, error) {
 				}
 				op.CPU = int32(cpu)
 			}
+			rp.Ops = append(rp.Ops, op)
 		}
 		readDeps := func() ([][]int32, error) {
-			deps := make([][]int32, nops)
-			for i := range deps {
+			deps := make([][]int32, 0, capped(nops))
+			for i := 0; i < int(nops); i++ {
 				n, err := getU()
 				if err != nil {
 					return nil, err
 				}
 				if n == 0 {
+					deps = append(deps, nil)
 					continue
 				}
-				lst := make([]int32, n)
-				for j := range lst {
+				lst := make([]int32, 0, capped(n))
+				for j := uint64(0); j < n; j++ {
 					delta, err := getS()
 					if err != nil {
 						return nil, err
 					}
-					lst[j] = int32(i) - int32(delta)
+					lst = append(lst, int32(i)-int32(delta))
 				}
-				deps[i] = lst
+				deps = append(deps, lst)
 			}
 			return deps, nil
 		}
@@ -177,6 +196,7 @@ func ReadBinary(r io.Reader) (*Schedule, error) {
 		if rp.IRequires, err = readDeps(); err != nil {
 			return nil, fmt.Errorf("goal: rank %d irequires: %w", r, err)
 		}
+		s.Ranks = append(s.Ranks, rp)
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package goal
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -55,6 +56,85 @@ func FuzzParseText(f *testing.F) {
 		st, st2 := s.ComputeStats(), again.ComputeStats()
 		if st != st2 {
 			t.Fatalf("round trip stats %+v, want %+v", st2, st)
+		}
+	})
+}
+
+// binarySeed encodes a schedule for the binary-codec fuzz corpus,
+// panicking on the (impossible) encoder failure of a valid fixture.
+func binarySeed(s *Schedule) []byte {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzBinaryRoundTrip hardens the binary GOAL codec the same way the text
+// fuzzer hardens the parser: arbitrary bytes must parse-or-fail cleanly —
+// no panics, no over-allocation — and any schedule the decoder accepts
+// must survive a parse -> encode -> parse round trip with the two decoded
+// schedules structurally identical (every op, every dependency edge, in
+// order), not merely stats-equal. The seed corpus covers every op kind
+// and attribute the encoder's flag byte can express, both dependency
+// kinds, multi-rank programs, and truncated/corrupted headers.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	full := NewBuilder(3)
+	r0 := full.Rank(0)
+	c := r0.Calc(100)
+	cc := r0.CalcOn(250, 2) // cpu flag on a calc
+	s1 := r0.Send(64, 1, 0) // tagless send
+	s2 := r0.SendOn(300000, 2, 42, 1)
+	r0.Requires(s2, c, s1)
+	r0.IRequires(s2, cc)
+	r1 := full.Rank(1)
+	r1.Recv(64, 0, 0)
+	r2 := full.Rank(2)
+	rv := r2.RecvOn(300000, 0, 42, 3)
+	w := r2.Calc(7)
+	r2.Requires(w, rv)
+	wild := NewBuilder(2)
+	wild.Rank(0).Send(8, 1, 5)
+	wild.Rank(1).Recv(8, 0, AnyTag) // negative tag exercises the svarint path
+
+	seeds := [][]byte{
+		binarySeed(full.MustBuild()),
+		binarySeed(wild.MustBuild()),
+		binarySeed(&Schedule{Ranks: make([]RankProgram, 1)}), // empty rank program
+		[]byte("GOALB1\n"),                                   // magic only
+		[]byte("GOALB1\n\x01\x01"),                           // truncated op
+		[]byte("GOALB2\n\x01"),                               // wrong magic
+		[]byte("num_ranks 1\n"),                              // text format fed to the binary reader
+		{0x47, 0x4f, 0x41, 0x4c},                             // partial magic
+		append([]byte("GOALB1\n"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01), // absurd rank count
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		s, err := ReadBinary(bytes.NewReader(raw))
+		if err != nil {
+			return // rejected inputs just need to fail cleanly
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, s); err != nil {
+			t.Fatalf("WriteBinary failed on accepted schedule: %v", err)
+		}
+		again, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("round trip changed the schedule:\nfirst:  %+v\nsecond: %+v", s, again)
+		}
+		// Re-encoding the reparsed schedule must be byte-stable: the codec
+		// has one canonical encoding per schedule.
+		var buf2 bytes.Buffer
+		if err := WriteBinary(&buf2, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("encoding not canonical: second encode differs from first")
 		}
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"atlahs/internal/goal"
 	"atlahs/internal/sched"
 	"atlahs/internal/trace/spc"
+	"atlahs/internal/workload/oltp"
 )
 
 func smallTrace() *spc.Trace {
@@ -152,7 +153,7 @@ func TestThinkTimeFromTimestamps(t *testing.T) {
 // that run to completion.
 func TestGenerateProperty(t *testing.T) {
 	f := func(seed uint64, n uint8) bool {
-		tr := spc.GenerateFinancial(spc.FinancialConfig{Ops: int(n%60) + 1, Seed: seed})
+		tr := oltp.GenerateFinancial(oltp.FinancialConfig{Ops: int(n%60) + 1, Seed: seed})
 		s, _, err := Generate(tr, Config{Hosts: 3, CCS: 2, BSS: 5, Replicas: 3})
 		if err != nil {
 			return false

@@ -1,0 +1,35 @@
+package directdrive
+
+import (
+	"io"
+	"regexp"
+
+	"atlahs/internal/goal"
+	"atlahs/internal/trace/frontend"
+	"atlahs/internal/trace/spc"
+)
+
+// spcLineRE matches one SPC CSV record: ASU,LBA,Size,Opcode,Timestamp.
+var spcLineRE = regexp.MustCompile(`^\s*\d+\s*,\s*\d+\s*,\s*\d+\s*,\s*[RrWw]\s*,\s*\d+(\.\d+)?\s*$`)
+
+func init() {
+	frontend.Register(frontend.Definition{
+		Name:       "spc",
+		Extensions: []string{".spc"},
+		Sniff: func(prefix []byte) bool {
+			return spcLineRE.Match(frontend.FirstLine(prefix, "#"))
+		},
+		Convert: func(r io.Reader, cfg any) (*goal.Schedule, error) {
+			c, err := frontend.ConfigAs[Config]("spc", cfg)
+			if err != nil {
+				return nil, err
+			}
+			tr, err := spc.Parse(r)
+			if err != nil {
+				return nil, err
+			}
+			s, _, err := Generate(tr, c)
+			return s, err
+		},
+	})
+}

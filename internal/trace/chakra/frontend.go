@@ -1,0 +1,30 @@
+package chakra
+
+import (
+	"bytes"
+	"io"
+
+	"atlahs/internal/goal"
+	"atlahs/internal/trace/frontend"
+)
+
+func init() {
+	frontend.Register(frontend.Definition{
+		Name:       "chakra",
+		Extensions: []string{".chakra", ".et"},
+		Sniff: func(prefix []byte) bool {
+			return bytes.HasPrefix(prefix, []byte(`{"format":"`+formatName+`"`))
+		},
+		Convert: func(r io.Reader, cfg any) (*goal.Schedule, error) {
+			c, err := frontend.ConfigAs[ConvertConfig]("chakra", cfg)
+			if err != nil {
+				return nil, err
+			}
+			t, err := Parse(r)
+			if err != nil {
+				return nil, err
+			}
+			return ToGOAL(t, c)
+		},
+	})
+}

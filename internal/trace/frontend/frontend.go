@@ -1,0 +1,224 @@
+// Package frontend is the workload-ingestion registry of the ATLAHS
+// toolchain: the one place where application trace formats meet the GOAL
+// intermediate representation (paper Fig 2, green path). A Definition
+// names one trace format, knows how to recognise it (content sniffing on
+// a file prefix, extension fallback), and converts a raw trace stream
+// into a GOAL schedule.
+//
+// The registry mirrors the backend registry on the other side of the
+// toolchain: converters self-register at init (the nsys/NCCL pipeline,
+// Schedgen for MPI traces, the Direct Drive storage model for SPC traces,
+// the Chakra execution-trace converter), the GOAL codecs themselves are
+// registered here as the "goal" pass-through frontend, and third-party
+// ingestion plugs in the same way. The sim facade re-exports the registry
+// (sim.RegisterFrontend) and resolves Spec trace workloads through it.
+package frontend
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"atlahs/internal/goal"
+)
+
+// Definition describes one registered workload frontend: a trace format
+// and its trace-to-GOAL conversion.
+type Definition struct {
+	// Name identifies the frontend ("goal", "nsys", "mpi", "spc",
+	// "chakra", ...): the Spec.Frontend key.
+	Name string
+	// Extensions lists the file extensions (with leading dot, lower-case)
+	// that map to this format when content sniffing is inconclusive.
+	Extensions []string
+	// Sniff reports whether a trace starting with the given prefix (up to
+	// SniffLen bytes; the whole input when shorter) looks like this
+	// format. Sniffers must be mutually exclusive across registered
+	// frontends — detection errors out on ambiguity rather than picking
+	// one.
+	Sniff func(prefix []byte) bool
+	// Convert parses one trace from r and converts it to a GOAL schedule.
+	// cfg is the frontend's typed configuration (see ConfigAs); nil
+	// selects defaults. Conversion streams from r: callers hand over the
+	// reader positioned at the start of the trace.
+	Convert func(r io.Reader, cfg any) (*goal.Schedule, error)
+}
+
+// SniffLen is how many leading bytes detection hands to Sniff.
+const SniffLen = 4096
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Definition
+}{m: map[string]Definition{}}
+
+// Register adds a frontend to the registry. The built-in frontends
+// self-register at init; third parties register theirs the same way.
+// Registering an empty name, a nil converter, or a name that is already
+// taken panics: those are programming errors at wiring time, not runtime
+// conditions.
+func Register(def Definition) {
+	if def.Name == "" {
+		panic("frontend: Register with empty frontend name")
+	}
+	if def.Convert == nil {
+		panic(fmt.Sprintf("frontend: Register(%q) with nil converter", def.Name))
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[def.Name]; dup {
+		panic(fmt.Sprintf("frontend: %q registered twice", def.Name))
+	}
+	registry.m[def.Name] = def
+}
+
+// Lookup returns the named frontend's definition.
+func Lookup(name string) (Definition, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	def, ok := registry.m[name]
+	return def, ok
+}
+
+// Names lists the registered frontend names, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Detect resolves which frontend owns a trace: content sniffing on the
+// prefix first (exactly one sniffer may claim it), the path's extension
+// as the fallback. path may be empty for in-memory traces.
+func Detect(prefix []byte, path string) (Definition, error) {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var matches []string
+	for _, name := range names {
+		if s := registry.m[name].Sniff; s != nil && s(prefix) {
+			matches = append(matches, name)
+		}
+	}
+	if len(matches) == 1 {
+		return registry.m[matches[0]], nil
+	}
+	if len(matches) > 1 {
+		return Definition{}, fmt.Errorf("frontend: trace matches %d formats (%s); name one explicitly",
+			len(matches), strings.Join(matches, ", "))
+	}
+	if ext := strings.ToLower(filepath.Ext(path)); ext != "" {
+		// Like sniffing, an extension claimed by several frontends is an
+		// error, not an alphabetical pick.
+		var claims []string
+		for _, name := range names {
+			for _, e := range registry.m[name].Extensions {
+				if e == ext {
+					claims = append(claims, name)
+				}
+			}
+		}
+		if len(claims) == 1 {
+			return registry.m[claims[0]], nil
+		}
+		if len(claims) > 1 {
+			return Definition{}, fmt.Errorf("frontend: extension %q is claimed by %d frontends (%s); name one explicitly",
+				ext, len(claims), strings.Join(claims, ", "))
+		}
+	}
+	return Definition{}, fmt.Errorf("frontend: cannot detect trace format (no sniffer matched, extension %q unknown); registered frontends: %s",
+		filepath.Ext(path), strings.Join(names, ", "))
+}
+
+// ConfigAs coerces a frontend config value to the frontend's own type T:
+// nil and a nil *T select the zero value (defaults), T and *T pass
+// through, and anything else is reported as a config-type mismatch.
+// Frontend converters — including third-party ones — are expected to
+// route their cfg through this so mismatch errors read uniformly.
+func ConfigAs[T any](frontendName string, cfg any) (T, error) {
+	var zero T
+	switch v := cfg.(type) {
+	case nil:
+		return zero, nil
+	case T:
+		return v, nil
+	case *T:
+		if v == nil {
+			return zero, nil
+		}
+		return *v, nil
+	}
+	return zero, fmt.Errorf("frontend: %q wants a %T config, got %T", frontendName, zero, cfg)
+}
+
+// FirstLine returns the first line of prefix that is neither blank nor a
+// comment (lines starting with any string in commentPrefixes), without
+// its trailing newline — the unit most text-format sniffers decide on.
+func FirstLine(prefix []byte, commentPrefixes ...string) []byte {
+	for len(prefix) > 0 {
+		line := prefix
+		if i := bytes.IndexByte(prefix, '\n'); i >= 0 {
+			line, prefix = prefix[:i], prefix[i+1:]
+		} else {
+			prefix = nil
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		comment := false
+		for _, c := range commentPrefixes {
+			if bytes.HasPrefix(line, []byte(c)) {
+				comment = true
+				break
+			}
+		}
+		if !comment {
+			return line
+		}
+	}
+	return nil
+}
+
+// goalBinaryMagic mirrors internal/goal's binary header.
+const goalBinaryMagic = "GOALB1\n"
+
+func init() {
+	// The GOAL codecs themselves are the pass-through frontend: a "trace"
+	// that is already a schedule, textual or binary.
+	Register(Definition{
+		Name:       "goal",
+		Extensions: []string{".goal", ".bin"},
+		Sniff: func(prefix []byte) bool {
+			if bytes.HasPrefix(prefix, []byte(goalBinaryMagic)) {
+				return true
+			}
+			return bytes.HasPrefix(FirstLine(prefix, "//"), []byte("num_ranks "))
+		},
+		Convert: func(r io.Reader, cfg any) (*goal.Schedule, error) {
+			if cfg != nil {
+				return nil, fmt.Errorf("frontend: \"goal\" takes no config, got %T", cfg)
+			}
+			br := bufio.NewReaderSize(r, 1<<16)
+			if magic, err := br.Peek(len(goalBinaryMagic)); err == nil && string(magic) == goalBinaryMagic {
+				return goal.ReadBinary(br)
+			}
+			return goal.ParseText(br)
+		},
+	})
+}

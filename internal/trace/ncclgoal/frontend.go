@@ -1,0 +1,31 @@
+package ncclgoal
+
+import (
+	"bytes"
+	"io"
+
+	"atlahs/internal/goal"
+	"atlahs/internal/trace/frontend"
+	"atlahs/internal/trace/nsys"
+)
+
+func init() {
+	frontend.Register(frontend.Definition{
+		Name:       "nsys",
+		Extensions: []string{".nsys"},
+		Sniff: func(prefix []byte) bool {
+			return bytes.HasPrefix(prefix, []byte(`{"format":"atlahs-nsys-v1"`))
+		},
+		Convert: func(r io.Reader, cfg any) (*goal.Schedule, error) {
+			c, err := frontend.ConfigAs[Config]("nsys", cfg)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := nsys.Parse(r)
+			if err != nil {
+				return nil, err
+			}
+			return Generate(rep, c)
+		},
+	})
+}

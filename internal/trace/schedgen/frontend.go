@@ -1,0 +1,31 @@
+package schedgen
+
+import (
+	"bytes"
+	"io"
+
+	"atlahs/internal/goal"
+	"atlahs/internal/trace/frontend"
+	"atlahs/internal/trace/mpitrace"
+)
+
+func init() {
+	frontend.Register(frontend.Definition{
+		Name:       "mpi",
+		Extensions: []string{".mpi"},
+		Sniff: func(prefix []byte) bool {
+			return bytes.HasPrefix(frontend.FirstLine(prefix, "#"), []byte("mpitrace "))
+		},
+		Convert: func(r io.Reader, cfg any) (*goal.Schedule, error) {
+			opt, err := frontend.ConfigAs[Options]("mpi", cfg)
+			if err != nil {
+				return nil, err
+			}
+			tr, err := mpitrace.Parse(r)
+			if err != nil {
+				return nil, err
+			}
+			return Generate(tr, opt)
+		},
+	})
+}

@@ -1,8 +1,8 @@
 // Package spc implements the SPC block-I/O trace format (Storage
 // Performance Council; used by the UMass Trace Repository collection the
-// paper's storage case study draws from, §3.1.3 and Fig 11) plus a seeded
+// paper's storage case study draws from, §3.1.3 and Fig 11). The seeded
 // synthetic generator matching the published characteristics of the
-// "Financial" OLTP traces.
+// "Financial" OLTP traces lives in internal/workload/oltp.
 //
 // An SPC trace is a CSV with one I/O command per record:
 //
@@ -17,11 +17,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 	"strings"
-
-	"atlahs/internal/xrand"
 )
 
 // Op is one traced block-I/O command.
@@ -124,68 +121,6 @@ func Parse(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	return t, nil
-}
-
-// FinancialConfig tunes the synthetic Financial-distribution generator.
-// The defaults reproduce the published profile of the UMass Financial1
-// OLTP trace: write-heavy (~77%), 512-byte-multiple transfers dominated by
-// small requests, skewed block reuse, bursty arrivals.
-type FinancialConfig struct {
-	Ops           int
-	ASUs          int     // application storage units (default 24)
-	WriteFraction float64 // default 0.77
-	MeanGapUs     float64 // mean inter-arrival in microseconds (default 30)
-	BurstProb     float64 // probability the next op arrives immediately (default 0.35)
-	HotBlocks     int     // size of the skewed block working set (default 1<<16)
-	Seed          uint64
-}
-
-func (c FinancialConfig) withDefaults() FinancialConfig {
-	if c.ASUs <= 0 {
-		c.ASUs = 24
-	}
-	if c.WriteFraction == 0 {
-		c.WriteFraction = 0.77
-	}
-	if c.MeanGapUs == 0 {
-		c.MeanGapUs = 30
-	}
-	if c.BurstProb == 0 {
-		c.BurstProb = 0.35
-	}
-	if c.HotBlocks <= 0 {
-		c.HotBlocks = 1 << 16
-	}
-	return c
-}
-
-// GenerateFinancial synthesises an OLTP-like trace with the Financial
-// profile. Output is sorted by timestamp and validates.
-func GenerateFinancial(cfg FinancialConfig) *Trace {
-	cfg = cfg.withDefaults()
-	rng := xrand.New(cfg.Seed ^ 0x46494e31) // "FIN1"
-	zip := xrand.NewZipf(rng, cfg.HotBlocks, 1.1)
-	t := &Trace{Ops: make([]Op, 0, cfg.Ops)}
-	now := 0.0
-	for i := 0; i < cfg.Ops; i++ {
-		if !rng.Bool(cfg.BurstProb) {
-			now += rng.Exp(cfg.MeanGapUs) * 1e-6
-		}
-		// transfer sizes: 512 B blocks, geometric-ish mix peaking small
-		blocks := int64(1)
-		for blocks < 64 && rng.Bool(0.45) {
-			blocks *= 2
-		}
-		t.Ops = append(t.Ops, Op{
-			ASU:   rng.Intn(cfg.ASUs),
-			LBA:   int64(zip.Next()) * 8, // 8 blocks per hot-set slot
-			Bytes: blocks * 512,
-			Write: rng.Bool(cfg.WriteFraction),
-			Time:  now,
-		})
-	}
-	sort.SliceStable(t.Ops, func(i, j int) bool { return t.Ops[i].Time < t.Ops[j].Time })
-	return t
 }
 
 // Stats summarises a trace for reporting.

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"atlahs/internal/workload/hpcapps"
+	"atlahs/internal/workload/llm"
+	"atlahs/internal/workload/oltp"
+)
+
+// threeJobSpec declares the paper's heterogeneous co-location scenario —
+// LLM training + MPI stencil + storage checkpoint on one fabric — from
+// raw traces in three different formats, all sniffed.
+func threeJobSpec(t *testing.T) []JobSpec {
+	t.Helper()
+	rep, err := llm.Generate(llm.Config{
+		Model: llm.Llama7B(),
+		Par:   llm.Parallelism{TP: 1, PP: 1, DP: 8, EP: 1, GlobalBatch: 8},
+		Scale: 1e-4,
+		Seed:  31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ai bytes.Buffer
+	if _, err := rep.WriteTo(&ai); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := hpcapps.Generate(hpcapps.Config{App: hpcapps.CloverLeaf, Ranks: 4, Steps: 2, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hpc bytes.Buffer
+	if _, err := tr.WriteTo(&hpc); err != nil {
+		t.Fatal(err)
+	}
+	var spc bytes.Buffer
+	if _, err := oltp.GenerateFinancial(oltp.FinancialConfig{Ops: 40, Seed: 33}).WriteTo(&spc); err != nil {
+		t.Fatal(err)
+	}
+	return []JobSpec{
+		{Trace: ai.Bytes(), FrontendConfig: NsysConfig{GPUsPerNode: 4}},
+		{Trace: hpc.Bytes()},
+		{Trace: spc.Bytes(), FrontendConfig: SPCConfig{Hosts: 2, CCS: 1, BSS: 3}},
+	}
+}
+
+// TestComposedScenarioDeterministic: the composed AI+HPC+storage scenario
+// must produce bit-identical results on the serial and sharded parallel
+// engines, for both placement policies.
+func TestComposedScenarioDeterministic(t *testing.T) {
+	jobs := threeJobSpec(t)
+	for _, placement := range Placements() {
+		serial := runResult(t, Spec{Jobs: jobs, Placement: placement})
+		parallel := runResult(t, Spec{Jobs: jobs, Placement: placement, Workers: 4})
+		if !parallel.Parallel || parallel.Workers != 4 {
+			t.Fatalf("%s: wanted the 4-worker parallel engine, got parallel=%v workers=%d",
+				placement, parallel.Parallel, parallel.Workers)
+		}
+		serial.Workers, parallel.Workers = 0, 0
+		serial.Parallel, parallel.Parallel = false, false
+		serial.Events, parallel.Events = 0, 0 // engine-dependent accounting
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("%s: serial and parallel runs diverged\nserial   %+v\nparallel %+v",
+				placement, serial, parallel)
+		}
+	}
+}
+
+// TestComposePlacements checks the node layouts the two policies hand
+// back: disjoint per-job sets that exactly cover the fabric, contiguous
+// for packed, round-robin for interleaved.
+func TestComposePlacements(t *testing.T) {
+	jobs := []JobSpec{
+		{Synthetic: &Synthetic{Pattern: "ring", Ranks: 4, Bytes: 1024}},
+		{Synthetic: &Synthetic{Pattern: "ring", Ranks: 2, Bytes: 1024}},
+	}
+	packed := runResult(t, Spec{Jobs: jobs})
+	if want := [][]int{{0, 1, 2, 3}, {4, 5}}; !reflect.DeepEqual(packed.JobNodes, want) {
+		t.Fatalf("packed JobNodes %v, want %v", packed.JobNodes, want)
+	}
+	inter := runResult(t, Spec{Jobs: jobs, Placement: "interleaved"})
+	if want := [][]int{{0, 2, 4, 5}, {1, 3}}; !reflect.DeepEqual(inter.JobNodes, want) {
+		t.Fatalf("interleaved JobNodes %v, want %v", inter.JobNodes, want)
+	}
+	if packed.Ranks != 6 || inter.Ranks != 6 {
+		t.Fatalf("composed fabric sizes %d/%d, want 6", packed.Ranks, inter.Ranks)
+	}
+	// The two rings are independent: per-job traffic is unchanged by the
+	// placement policy on the topology-oblivious backend.
+	if packed.Runtime != inter.Runtime {
+		t.Fatalf("lgs runtime changed with placement: %v vs %v", packed.Runtime, inter.Runtime)
+	}
+}
+
+// TestComposeMatchesManualMerge: a Jobs spec over in-memory schedules is
+// exactly a run of the goal.Compose merge — same results as composing by
+// hand and using the single-Schedule path.
+func TestComposeMatchesManualMerge(t *testing.T) {
+	a := runResult(t, Spec{Jobs: []JobSpec{
+		{Synthetic: &Synthetic{Pattern: "alltoall", Ranks: 4, Bytes: 2048}},
+		{Synthetic: &Synthetic{Pattern: "incast", Ranks: 4, Bytes: 4096}},
+	}})
+	// Single-workload runs of each job, sharing no fabric: per-job rank
+	// completion must carry over unchanged on the topology-oblivious lgs.
+	j0 := runResult(t, Spec{Synthetic: &Synthetic{Pattern: "alltoall", Ranks: 4, Bytes: 2048}})
+	j1 := runResult(t, Spec{Synthetic: &Synthetic{Pattern: "incast", Ranks: 4, Bytes: 4096}})
+	for r, end := range j0.RankEnd {
+		if a.RankEnd[a.JobNodes[0][r]] != end {
+			t.Fatalf("job 0 rank %d: composed end %v, solo end %v", r, a.RankEnd[a.JobNodes[0][r]], end)
+		}
+	}
+	for r, end := range j1.RankEnd {
+		if a.RankEnd[a.JobNodes[1][r]] != end {
+			t.Fatalf("job 1 rank %d: composed end %v, solo end %v", r, a.RankEnd[a.JobNodes[1][r]], end)
+		}
+	}
+	if a.Ops != j0.Ops+j1.Ops {
+		t.Fatalf("composed ops %d, want %d", a.Ops, j0.Ops+j1.Ops)
+	}
+}
+
+func TestJobsSpecErrors(t *testing.T) {
+	ring := &Synthetic{Pattern: "ring", Ranks: 2, Bytes: 64}
+	cases := map[string]Spec{
+		"jobs+top-level": {Synthetic: ring, Jobs: []JobSpec{{Synthetic: ring}}},
+		"placement-only": {Synthetic: ring, Placement: "packed"},
+		"bad-placement":  {Jobs: []JobSpec{{Synthetic: ring}}, Placement: "diagonal"},
+		"empty-job":      {Jobs: []JobSpec{{}}},
+		"two-sources":    {Jobs: []JobSpec{{Synthetic: ring, GoalPath: "x"}}},
+	}
+	for label, spec := range cases {
+		if _, err := Run(context.Background(), spec); err == nil {
+			t.Errorf("%s: expected an error", label)
+		}
+	}
+	if _, err := Run(context.Background(), Spec{Jobs: []JobSpec{{Synthetic: ring}, {}}}); err == nil ||
+		!strings.Contains(err.Error(), "job 1") {
+		t.Fatalf("job errors should name the job, got %v", err)
+	}
+}

@@ -1,24 +1,47 @@
 // Package sim is the public facade of the ATLAHS toolchain: the one way to
-// run a simulation. A declarative Spec names the workload (a GOAL schedule
-// from a file, raw bytes, an in-memory schedule, or a synthetic traffic
-// generator), the backend (resolved through a registry that third-party
-// simulators can join via Register), and the execution knobs (worker
-// budget, calc scaling, seed). Run executes the spec, picking the serial or
-// sharded parallel engine from the backend's declared lookahead, streams op
-// completions, periodic progress and backend network counters to an
-// optional Observer, and returns a typed Result: makespan, per-rank
-// completion times, the schedule's size accounting, executed-op tallies and
-// the backend's fabric counters when it tracks them. Everything in a Result
-// except the Wall measurement is deterministic — independent of worker
-// count and host conditions — so results can be exported (see the results
-// package) and compared across runs.
+// run a simulation. A declarative Spec names the workload, the backend
+// (resolved through a registry that third-party simulators can join via
+// Register), and the execution knobs (worker budget, calc scaling, seed).
+// Run executes the spec, picking the serial or sharded parallel engine
+// from the backend's declared lookahead, streams op completions, periodic
+// progress and backend network counters to an optional Observer, and
+// returns a typed Result: makespan, per-rank completion times, the
+// schedule's size accounting, executed-op tallies and the backend's fabric
+// counters when it tracks them. Everything in a Result except the Wall
+// measurement is deterministic — independent of worker count and host
+// conditions — so results can be exported (see the results package) and
+// compared across runs.
+//
+// Workloads enter through two symmetric registries. On the ingestion side,
+// the workload-frontend registry (RegisterFrontend) is the boundary where
+// application traces meet the GOAL intermediate representation: a Spec may
+// name a pre-converted GOAL schedule (GoalPath, GoalBytes, Schedule), a
+// synthetic traffic generator (Synthetic), or a raw application trace
+// (TracePath, Trace) that a registered frontend converts on the fly — the
+// built-ins are "nsys" (GPU reports through the 4-stage NCCL pipeline),
+// "mpi" (liballprof-style traces through Schedgen), "spc" (block-I/O
+// traces through the Direct Drive model), "chakra" (AstraSim's execution
+// traces), and "goal" (the GOAL codecs themselves). The format is sniffed
+// from the content with the file extension as fallback, or named
+// explicitly via Spec.Frontend; per-frontend conversion knobs ride in
+// Spec.FrontendConfig. On the backend side, the registry built in PR 2
+// resolves Spec.Backend ("lgs", "pkt", "fluid", or third-party).
+//
+// Multi-job scenarios compose at the same boundary: Spec.Jobs declares N
+// independently-sourced workloads (each resolved exactly like a
+// single-workload Spec), Spec.Placement lays them out on one shared
+// fabric ("packed" or "interleaved"), and the merged schedule runs as one
+// simulation with per-job node sets reported in Result.JobNodes — the
+// paper's heterogeneous co-location scenarios (§3.2) as a one-spec run.
 //
 // The layering is strict: sim (this package, the entry point) sits on
-// internal/sched (the GOAL dependency scheduler), which drives any
-// internal/core.Backend, which schedules its events on internal/engine (the
-// serial and parallel discrete-event cores). Commands and examples program
-// exclusively against sim; nothing above this package touches the scheduler
-// or engines directly (CI enforces the boundary).
+// internal/trace/frontend (the ingestion registry the trace converters
+// self-register into) and internal/sched (the GOAL dependency scheduler),
+// which drives any internal/core.Backend, which schedules its events on
+// internal/engine (the serial and parallel discrete-event cores). Commands
+// and examples program exclusively against sim; nothing above this package
+// touches the scheduler, the engines, or the trace converters directly
+// (CI enforces both boundaries).
 //
 // Minimal use:
 //
@@ -28,9 +51,24 @@
 //		Workers:   4,
 //	})
 //
+// Direct trace replay and scenario composition:
+//
+//	res, err := sim.Run(ctx, sim.Spec{TracePath: "run.nsys"}) // sniffed, NCCL pipeline
+//	res, err := sim.Run(ctx, sim.Spec{
+//		Jobs: []sim.JobSpec{
+//			{TracePath: "train.nsys", FrontendConfig: sim.NsysConfig{GPUsPerNode: 4}},
+//			{TracePath: "stencil.mpi"},
+//			{TracePath: "checkpoint.spc"},
+//		},
+//		Placement: "interleaved",
+//		Backend:   "pkt",
+//	})
+//
 // Any simulator honouring the ATLAHS backend contract (paper Fig 7) can be
-// plugged in behind the same schedule:
+// plugged in behind the same schedule, and any trace format can be plugged
+// in ahead of it:
 //
 //	sim.Register(sim.Definition{Name: "mysim", New: newMySim})
-//	res, err := sim.Run(ctx, sim.Spec{GoalPath: "trace.bin", Backend: "mysim"})
+//	sim.RegisterFrontend(sim.Frontend{Name: "myfmt", Sniff: sniff, Convert: convert})
+//	res, err := sim.Run(ctx, sim.Spec{TracePath: "run.myfmt", Backend: "mysim"})
 package sim

@@ -44,6 +44,10 @@ type Result struct {
 	// results), so Done always matches Sched's per-kind counts — for any
 	// worker count.
 	Done Tally
+	// JobNodes maps each composed job (Spec.Jobs order) to the fabric
+	// nodes its ranks landed on: JobNodes[j][r] is the node of job j's
+	// rank r. nil for single-workload specs.
+	JobNodes [][]int
 	// Workers is the resolved worker count (1 = serial engine).
 	Workers int
 	// Parallel reports whether the sharded parallel engine ran the
@@ -77,7 +81,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	sch, err := spec.schedule()
+	sch, jobNodes, err := spec.resolve()
 	if err != nil {
 		return nil, err
 	}
@@ -157,6 +161,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		Ranks:    sch.NumRanks(),
 		Sched:    st,
 		Done:     runBE.tally(),
+		JobNodes: jobNodes,
 		Workers:  workers,
 		Parallel: parallel,
 		Wall:     wall,

@@ -21,11 +21,42 @@ type Spec struct {
 	// GoalBytes holds a serialised GOAL schedule, textual or binary
 	// (auto-detected).
 	GoalBytes []byte
-	// Schedule is an in-memory GOAL schedule (e.g. from goal.NewBuilder or a
+	// Schedule is an in-memory GOAL schedule (e.g. from sim.NewBuilder or a
 	// trace converter).
 	Schedule *Schedule
 	// Synthetic generates a microbenchmark traffic pattern.
 	Synthetic *Synthetic
+	// TracePath names a raw application trace file (nsys report, MPI
+	// trace, SPC block-I/O trace, Chakra ET, or a GOAL file) to ingest
+	// through the frontend registry. The format is auto-detected unless
+	// Frontend names one explicitly.
+	TracePath string
+	// Trace holds a raw serialised application trace to ingest through the
+	// frontend registry; see TracePath.
+	Trace []byte
+	// Frontend names the registered workload frontend converting TracePath
+	// or Trace ("nsys", "mpi", "spc", "chakra", "goal", or a third-party
+	// registration); "" auto-detects by content sniffing, then by file
+	// extension.
+	Frontend string
+	// FrontendConfig is the frontend's typed configuration (e.g.
+	// NsysConfig, MPIConfig, SPCConfig, ChakraConfig, or a third-party
+	// frontend's own type). nil selects that frontend's defaults; a value
+	// of the wrong type is an error, not a silent default.
+	FrontendConfig any
+
+	// Jobs composes several independently-sourced workloads onto one
+	// fabric (the paper's multi-job scenarios, §3.2): each job's schedule
+	// is resolved like a single-workload Spec, ranks are mapped onto
+	// disjoint fabric nodes by the Placement policy, and the merged
+	// schedule runs as one simulation. Mutually exclusive with the
+	// single-workload sources above; per-job node sets come back in
+	// Result.JobNodes.
+	Jobs []JobSpec
+	// Placement lays composed jobs out on the fabric: "packed" (default;
+	// contiguous per-job node blocks) or "interleaved" (nodes dealt to
+	// jobs round-robin). Only valid with Jobs.
+	Placement string
 
 	// Backend names the registered simulator to run on; "" means "lgs".
 	Backend string
@@ -128,38 +159,131 @@ func (sy *Synthetic) generate(topSeed uint64) (*goal.Schedule, error) {
 		sy.Pattern, strings.Join(SyntheticPatterns(), ", "))
 }
 
-// schedule resolves the Spec's workload source into a GOAL schedule.
-func (sp *Spec) schedule() (*goal.Schedule, error) {
-	sources := 0
-	if sp.GoalPath != "" {
-		sources++
+// JobSpec declares one composed job's workload for Spec.Jobs. Exactly one
+// source must be set per job; the fields mirror Spec's single-workload
+// sources.
+type JobSpec struct {
+	// GoalPath names a GOAL schedule file, textual or binary.
+	GoalPath string
+	// GoalBytes holds a serialised GOAL schedule.
+	GoalBytes []byte
+	// Schedule is an in-memory GOAL schedule.
+	Schedule *Schedule
+	// Synthetic generates a microbenchmark traffic pattern (its zero Seed
+	// inherits Spec.Seed).
+	Synthetic *Synthetic
+	// TracePath names a raw application trace file ingested through the
+	// frontend registry.
+	TracePath string
+	// Trace holds a raw serialised application trace.
+	Trace []byte
+	// Frontend names the workload frontend for TracePath/Trace; "" auto-
+	// detects.
+	Frontend string
+	// FrontendConfig is the frontend's typed configuration; nil selects
+	// defaults.
+	FrontendConfig any
+}
+
+// sources counts the job's workload sources.
+func (j *JobSpec) sources() int {
+	n := 0
+	if j.GoalPath != "" {
+		n++
 	}
-	if len(sp.GoalBytes) > 0 {
-		sources++
+	if len(j.GoalBytes) > 0 {
+		n++
 	}
-	if sp.Schedule != nil {
-		sources++
+	if j.Schedule != nil {
+		n++
 	}
-	if sp.Synthetic != nil {
-		sources++
+	if j.Synthetic != nil {
+		n++
 	}
-	switch sources {
+	if j.TracePath != "" {
+		n++
+	}
+	if len(j.Trace) > 0 {
+		n++
+	}
+	return n
+}
+
+// schedule resolves one job's workload source into a GOAL schedule.
+func (j *JobSpec) schedule(topSeed uint64) (*goal.Schedule, error) {
+	switch n := j.sources(); n {
 	case 0:
-		return nil, fmt.Errorf("sim: spec has no workload; set one of GoalPath, GoalBytes, Schedule or Synthetic")
+		return nil, fmt.Errorf("sim: no workload; set one of GoalPath, GoalBytes, Schedule, Synthetic, TracePath or Trace")
 	case 1:
 	default:
-		return nil, fmt.Errorf("sim: spec has %d workload sources; set exactly one of GoalPath, GoalBytes, Schedule or Synthetic", sources)
+		return nil, fmt.Errorf("sim: %d workload sources; set exactly one of GoalPath, GoalBytes, Schedule, Synthetic, TracePath or Trace", n)
+	}
+	if (j.Frontend != "" || j.FrontendConfig != nil) && j.TracePath == "" && len(j.Trace) == 0 {
+		return nil, fmt.Errorf("sim: Frontend/FrontendConfig are only meaningful with a TracePath or Trace workload")
 	}
 	switch {
-	case sp.GoalPath != "":
-		return LoadGOAL(sp.GoalPath)
-	case len(sp.GoalBytes) > 0:
-		return DecodeGOAL(sp.GoalBytes)
-	case sp.Schedule != nil:
-		return sp.Schedule, nil
+	case j.GoalPath != "":
+		return LoadGOAL(j.GoalPath)
+	case len(j.GoalBytes) > 0:
+		return DecodeGOAL(j.GoalBytes)
+	case j.Schedule != nil:
+		return j.Schedule, nil
+	case j.Synthetic != nil:
+		return j.Synthetic.generate(topSeed)
+	case j.TracePath != "":
+		return ConvertTraceFile(j.TracePath, j.Frontend, j.FrontendConfig)
 	default:
-		return sp.Synthetic.generate(sp.Seed)
+		return ConvertTrace(j.Trace, j.Frontend, j.FrontendConfig)
 	}
+}
+
+// resolve turns the Spec's workload declaration — a single source or a
+// Jobs composition — into the schedule to simulate, plus each composed
+// job's node set (nil for single workloads).
+func (sp *Spec) resolve() (*goal.Schedule, [][]int, error) {
+	single := JobSpec{
+		GoalPath: sp.GoalPath, GoalBytes: sp.GoalBytes,
+		Schedule: sp.Schedule, Synthetic: sp.Synthetic,
+		TracePath: sp.TracePath, Trace: sp.Trace,
+		Frontend: sp.Frontend, FrontendConfig: sp.FrontendConfig,
+	}
+	if len(sp.Jobs) == 0 {
+		if sp.Placement != "" {
+			return nil, nil, fmt.Errorf("sim: Placement %q is only meaningful with Jobs", sp.Placement)
+		}
+		s, err := single.schedule(sp.Seed)
+		return s, nil, err
+	}
+	if n := single.sources(); n > 0 {
+		return nil, nil, fmt.Errorf("sim: spec sets both Jobs and %d top-level workload source(s); use one or the other", n)
+	}
+	policy, err := placementPolicy(sp.Placement)
+	if err != nil {
+		return nil, nil, err
+	}
+	scheds := make([]*goal.Schedule, len(sp.Jobs))
+	for i := range sp.Jobs {
+		s, err := sp.Jobs[i].schedule(sp.Seed)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sim: job %d: %w", i, err)
+		}
+		scheds[i] = s
+	}
+	return goal.Compose(policy, scheds...)
+}
+
+// Placements lists the job placement policy names Spec.Placement accepts.
+func Placements() []string { return []string{"packed", "interleaved"} }
+
+// placementPolicy maps Spec.Placement to the composition policy.
+func placementPolicy(name string) (goal.Placement, error) {
+	switch name {
+	case "", "packed":
+		return goal.PlacePacked, nil
+	case "interleaved":
+		return goal.PlaceInterleaved, nil
+	}
+	return 0, fmt.Errorf("sim: unknown placement %q (want one of %s)", name, strings.Join(Placements(), ", "))
 }
 
 // LoadGOAL reads a GOAL schedule file, textual or binary (auto-detected by

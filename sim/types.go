@@ -58,6 +58,20 @@ type (
 	LookaheadProvider = core.LookaheadProvider
 )
 
+// Aliases for the GOAL builder API, so schedules can be constructed
+// programmatically without naming internal import paths.
+type (
+	// Builder incrementally constructs a Schedule.
+	Builder = goal.Builder
+	// RankBuilder adds ops and dependencies to one rank.
+	RankBuilder = goal.RankBuilder
+	// OpID identifies an op within one rank's program during construction.
+	OpID = goal.OpID
+)
+
+// NewBuilder creates a schedule builder for nranks ranks.
+func NewBuilder(nranks int) *Builder { return goal.NewBuilder(nranks) }
+
 // GOAL op kinds.
 const (
 	OpCalc = goal.KindCalc
