@@ -7,6 +7,7 @@ package atlahs
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -17,12 +18,14 @@ import (
 	"atlahs/internal/experiments"
 	"atlahs/internal/goal"
 	"atlahs/internal/sched"
+	"atlahs/internal/service"
 	"atlahs/internal/trace/chakra"
 	"atlahs/internal/trace/ncclgoal"
 	"atlahs/internal/trace/schedgen"
 	"atlahs/internal/workload/hpcapps"
 	"atlahs/internal/workload/llm"
 	"atlahs/internal/workload/micro"
+	"atlahs/sim"
 )
 
 func astraSimulate(tr *chakra.Trace) (*astra.Result, error) {
@@ -243,6 +246,67 @@ func BenchmarkExperimentSweepVsSerial(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- simulation service --------------------------------------------------------
+
+// BenchmarkServiceColdVsCacheHit is the paired measurement behind the
+// service subsystem's claim: an identical re-submission is answered from
+// the content-addressed run cache without simulating, so the hit path
+// (fingerprint + lookup) must be orders of magnitude (>= 100x) faster
+// than the cold path (fingerprint + queue + full simulation + artifact
+// export) on the same spec.
+func BenchmarkServiceColdVsCacheHit(b *testing.B) {
+	spec := sim.Spec{
+		Synthetic: &sim.Synthetic{Pattern: "alltoall", Ranks: 32, Bytes: 65536},
+		Backend:   "lgs",
+	}
+	wait := func(b *testing.B, svc *service.Service, snap service.Snapshot) service.Snapshot {
+		done, err := svc.Wait(context.Background(), snap.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if done.Status != service.StatusDone {
+			b.Fatalf("run %s ended %s: %s", done.ID, done.Status, done.Err)
+		}
+		return done
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			svc, err := service.New(service.Config{Jobs: 1, Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			snap, err := svc.Submit(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wait(b, svc, snap)
+			svc.Close()
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		svc, err := service.New(service.Config{Jobs: 1, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close()
+		first, err := svc.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wait(b, svc, first)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			snap, err := svc.Submit(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !snap.Cached || snap.Status != service.StatusDone || snap.Result == nil {
+				b.Fatalf("re-submission missed the cache: %+v", snap)
+			}
+		}
+	})
 }
 
 // --- substrate throughput -----------------------------------------------------

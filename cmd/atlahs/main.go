@@ -1,11 +1,15 @@
 // Command atlahs runs a workload on a chosen network backend — the
-// toolchain's simulation entry point, a thin shell over the sim facade.
+// toolchain's simulation entry point, a thin shell over the sim facade —
+// and doubles as the simulation service's server and client.
 //
 // Usage:
 //
 //	atlahs -goal sched.bin [flags]            # pre-converted GOAL schedule
 //	atlahs -trace run.nsys [flags]            # direct trace replay
 //	atlahs -trace run.bin -frontend goal      # explicit frontend
+//	atlahs -spec run.json [flags]             # atlahs.spec/v1 wire spec
+//	atlahs -serve :8080 [-jobs 2]             # run as a simulation server
+//	atlahs -submit URL -spec run.json         # submit to a running server
 //
 // Flags: [-backend lgs|pkt|fluid] [-params ai|hpc] [-hosts-per-tor 4]
 // [-oversub 1] [-cc mprdma] [-seed 1] [-workers 1] [-progress 0] [-json]
@@ -15,9 +19,19 @@
 // Chakra ET, or a GOAL file) and ingests it through the workload-frontend
 // registry: the format is sniffed from the content (extension as
 // fallback), or named explicitly with -frontend; conversion uses that
-// frontend's defaults (use the sim library for tuned conversion). -json
-// prints the run's result — runtime, schedule accounting, executed-op
-// tallies, fabric counters — as one JSON object on stdout.
+// frontend's defaults (use the sim library for tuned conversion). -spec
+// takes a marshalled sim.Spec (sim.MarshalSpec, schema atlahs.spec/v1) —
+// including multi-job compositions — and is authoritative: workload and
+// backend flags may not be combined with it (-workers still overrides).
+// -json prints the run's result — runtime, schedule accounting,
+// executed-op tallies, per-job node sets, fabric counters — as one JSON
+// object on stdout.
+//
+// -serve exposes the same runs over HTTP through the simulation service
+// (see cmd/atlahsd for the full-featured server), and -submit sends a
+// spec to such a server, waits, and prints the result exactly like a
+// local -json run — identical submissions are answered from the server's
+// content-addressed run cache without simulating again.
 //
 // The lgs backend is topology-oblivious; pkt and fluid build a two-level
 // fat tree sized to the schedule. -workers > 1 runs the lgs backend on the
@@ -27,14 +41,18 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 
+	"atlahs/internal/service"
 	"atlahs/sim"
 )
 
@@ -42,6 +60,7 @@ func main() {
 	goalPath := flag.String("goal", "", "GOAL schedule file (text or binary)")
 	tracePath := flag.String("trace", "", "raw application trace to replay through a workload frontend")
 	frontendName := flag.String("frontend", "", "workload frontend for -trace: "+strings.Join(sim.Frontends(), ", ")+" (default: auto-detect)")
+	specPath := flag.String("spec", "", "atlahs.spec/v1 spec file (authoritative; excludes workload/backend flags)")
 	be := flag.String("backend", "lgs", "backend: lgs, pkt or fluid")
 	params := flag.String("params", "ai", "LogGOPS parameter set: ai or hpc")
 	hostsPerToR := flag.Int("hosts-per-tor", 4, "fat-tree hosts per ToR (pkt/fluid)")
@@ -52,64 +71,108 @@ func main() {
 	workers := flag.Int("workers", 1, "worker goroutines for the parallel engine (lgs only; 0 = GOMAXPROCS)")
 	progress := flag.Int64("progress", 0, "print progress every N completed ops (0 = off)")
 	jsonOut := flag.Bool("json", false, "print the result as one JSON object on stdout")
+	serveAddr := flag.String("serve", "", "run as a simulation server on this address instead of simulating")
+	jobs := flag.Int("jobs", 2, "concurrent simulations in -serve mode")
+	submitURL := flag.String("submit", "", "submit the spec to a running atlahsd/-serve server at this base URL")
 	flag.Parse()
-	if (*goalPath == "") == (*tracePath == "") {
-		fmt.Fprintln(os.Stderr, "atlahs: set exactly one of -goal or -trace")
-		flag.Usage()
-		os.Exit(2)
-	}
-	if *frontendName != "" && *tracePath == "" {
-		fail(fmt.Errorf("-frontend only applies to -trace"))
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *serveAddr != "" {
+		for _, name := range []string{"goal", "trace", "spec", "submit", "json", "frontend"} {
+			if set[name] {
+				fail(fmt.Errorf("-serve runs a server; -%s does not apply", name))
+			}
+		}
+		if err := serve(*serveAddr, *jobs, *workers); err != nil {
+			fail(err)
+		}
+		return
 	}
 
-	spec := sim.Spec{
-		GoalPath:  *goalPath,
-		TracePath: *tracePath,
-		Frontend:  *frontendName,
-		Backend:   *be,
-		CalcScale: *calcScale,
-		Seed:      *seed,
+	var spec sim.Spec
+	if *specPath != "" {
+		// The spec file is the whole declaration: rebuilding parts of it
+		// from flags would silently disagree with what was submitted, so
+		// spec-shaping flags conflict instead.
+		for _, name := range []string{"goal", "trace", "frontend", "backend", "params", "hosts-per-tor", "oversub", "cc", "seed", "calc-scale", "progress"} {
+			if set[name] {
+				fail(fmt.Errorf("-spec is authoritative; drop -%s (set it inside the spec file)", name))
+			}
+		}
+		b, err := os.ReadFile(*specPath)
+		if err != nil {
+			fail(err)
+		}
+		if spec, err = sim.UnmarshalSpec(b); err != nil {
+			fail(err)
+		}
+		if set["workers"] {
+			spec.Workers = cliWorkers(*workers)
+		}
+	} else {
+		if (*goalPath == "") == (*tracePath == "") {
+			fmt.Fprintln(os.Stderr, "atlahs: set exactly one of -goal, -trace or -spec")
+			flag.Usage()
+			os.Exit(2)
+		}
+		if *frontendName != "" && *tracePath == "" {
+			fail(fmt.Errorf("-frontend only applies to -trace"))
+		}
+		spec = sim.Spec{
+			GoalPath:  *goalPath,
+			TracePath: *tracePath,
+			Frontend:  *frontendName,
+			Backend:   *be,
+			CalcScale: *calcScale,
+			Seed:      *seed,
+		}
+		spec.Workers = cliWorkers(*workers)
+		// Reject any non-serial worker request on a backend that cannot
+		// shard, regardless of how many cores this host happens to have
+		// (sim.Run only errors once the resolved count exceeds 1).
+		if def, ok := sim.Lookup(*be); ok && !def.Parallel && *workers != 1 {
+			fail(fmt.Errorf("backend %q shares fabric state and always runs serially; -workers %d is not available (use -workers 1)", *be, *workers))
+		}
+		switch *be {
+		case "lgs":
+			p := sim.AIParams()
+			if *params == "hpc" {
+				p = sim.HPCParams()
+			}
+			spec.Config = sim.LGSConfig{Params: p}
+		case "pkt":
+			spec.Config = sim.PktConfig{
+				HostsPerToR: *hostsPerToR,
+				Oversub:     *oversub,
+				CC:          *ccName,
+			}
+		case "fluid":
+			spec.Config = sim.FluidConfig{
+				HostsPerToR: *hostsPerToR,
+				Oversub:     *oversub,
+			}
+		}
+		// Unknown backend names fall through with a nil config: sim.Run
+		// reports them against the full registry.
 	}
+
+	if *submitURL != "" {
+		if err := submit(*submitURL, spec, *jsonOut); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	if !*jsonOut {
 		// Console rendering would corrupt the single-object JSON contract,
 		// so the streaming observer only runs in text mode.
 		spec.Observer = consoleObserver{}
-		spec.ProgressEvery = *progress
-	}
-	// The CLI's -workers 0 means "all cores"; the library's Workers 0 means
-	// serial.
-	if *workers == 0 {
-		spec.Workers = -1
-	} else {
-		spec.Workers = *workers
-	}
-	// Reject any non-serial worker request on a backend that cannot shard,
-	// regardless of how many cores this host happens to have (sim.Run only
-	// errors once the resolved count exceeds 1).
-	if def, ok := sim.Lookup(*be); ok && !def.Parallel && *workers != 1 {
-		fail(fmt.Errorf("backend %q shares fabric state and always runs serially; -workers %d is not available (use -workers 1)", *be, *workers))
-	}
-	switch *be {
-	case "lgs":
-		p := sim.AIParams()
-		if *params == "hpc" {
-			p = sim.HPCParams()
-		}
-		spec.Config = sim.LGSConfig{Params: p}
-	case "pkt":
-		spec.Config = sim.PktConfig{
-			HostsPerToR: *hostsPerToR,
-			Oversub:     *oversub,
-			CC:          *ccName,
-		}
-	case "fluid":
-		spec.Config = sim.FluidConfig{
-			HostsPerToR: *hostsPerToR,
-			Oversub:     *oversub,
+		if *specPath == "" {
+			spec.ProgressEvery = *progress
 		}
 	}
-	// Unknown backend names fall through with a nil config: sim.Run reports
-	// them against the full registry.
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
@@ -118,7 +181,7 @@ func main() {
 		fail(err)
 	}
 	if *jsonOut {
-		if err := writeJSON(os.Stdout, res); err != nil {
+		if err := service.WriteResultJSON(os.Stdout, res); err != nil {
 			fail(err)
 		}
 		return
@@ -126,74 +189,84 @@ func main() {
 	fmt.Printf("backend %s: simulated runtime %s\n", res.Backend, res.Runtime)
 }
 
-// jsonResult is the -json rendering of a sim.Result: stable lower-case
-// keys, the simulated runtime both human-readable and in picoseconds.
-type jsonResult struct {
-	Backend   string    `json:"backend"`
-	Runtime   string    `json:"runtime"`
-	RuntimePs int64     `json:"runtime_ps"`
-	Ranks     int       `json:"ranks"`
-	Workers   int       `json:"workers"`
-	Parallel  bool      `json:"parallel"`
-	Ops       int64     `json:"ops"`
-	Events    uint64    `json:"events"`
-	Sched     jsonSched `json:"sched"`
-	Done      jsonTally `json:"done"`
-	Net       *jsonNet  `json:"net,omitempty"`
-}
-
-type jsonSched struct {
-	Ops       int64 `json:"ops"`
-	Sends     int64 `json:"sends"`
-	Recvs     int64 `json:"recvs"`
-	Calcs     int64 `json:"calcs"`
-	SendBytes int64 `json:"send_bytes"`
-	DepEdges  int64 `json:"dep_edges"`
-}
-
-type jsonTally struct {
-	Calcs int64 `json:"calcs"`
-	Sends int64 `json:"sends"`
-	Recvs int64 `json:"recvs"`
-}
-
-type jsonNet struct {
-	PktsSent    uint64 `json:"pkts_sent"`
-	Drops       uint64 `json:"drops"`
-	Trims       uint64 `json:"trims"`
-	Retransmits uint64 `json:"retransmits"`
-}
-
-func writeJSON(w *os.File, res *sim.Result) error {
-	out := jsonResult{
-		Backend:   res.Backend,
-		Runtime:   res.Runtime.String(),
-		RuntimePs: int64(res.Runtime),
-		Ranks:     res.Ranks,
-		Workers:   res.Workers,
-		Parallel:  res.Parallel,
-		Ops:       res.Ops,
-		Events:    res.Events,
-		Sched: jsonSched{
-			Ops:       res.Sched.Ops,
-			Sends:     res.Sched.Sends,
-			Recvs:     res.Sched.Recvs,
-			Calcs:     res.Sched.Calcs,
-			SendBytes: res.Sched.SendBytes,
-			DepEdges:  res.Sched.DepEdges,
-		},
-		Done: jsonTally{Calcs: res.Done.Calcs, Sends: res.Done.Sends, Recvs: res.Done.Recvs},
+// cliWorkers maps the CLI convention (-workers 0 = all cores) onto the
+// library convention (Workers < 0 = GOMAXPROCS, 0 = serial).
+func cliWorkers(w int) int {
+	if w == 0 {
+		return -1
 	}
-	if res.Net != nil {
-		out.Net = &jsonNet{
-			PktsSent:    res.Net.PktsSent,
-			Drops:       res.Net.Drops,
-			Trims:       res.Net.Trims,
-			Retransmits: res.Net.Retransmits,
+	return w
+}
+
+// serve runs the simulation service on addr until interrupted — the
+// lightweight flavour of cmd/atlahsd (which adds queue/cache/artifact
+// controls).
+func serve(addr string, jobs, workers int) error {
+	svc, err := service.New(service.Config{Jobs: jobs, Workers: workers})
+	if err != nil {
+		return err
+	}
+	return service.ListenAndServe(svc, addr)
+}
+
+// submit sends the spec to a running server, waits for the run to finish,
+// and renders the outcome: the result JSON object in -json mode (the same
+// shape a local -json run prints), or the console summary plus the
+// server's cache verdict in text mode.
+func submit(baseURL string, spec sim.Spec, jsonOut bool) error {
+	wire, err := sim.MarshalSpec(spec)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimSuffix(baseURL, "/") + "/v1/runs?wait=1"
+	resp, err := http.Post(url, "application/json", bytes.NewReader(wire))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	cacheStatus := resp.Header.Get("Cache-Status")
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		var er struct {
+			Error string `json:"error"`
 		}
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			return fmt.Errorf("server rejected the spec: %s", er.Error)
+		}
+		return fmt.Errorf("server returned %s: %s", resp.Status, bytes.TrimSpace(body))
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	var run struct {
+		ID     string          `json:"id"`
+		Status string          `json:"status"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(body, &run); err != nil {
+		return fmt.Errorf("unreadable server response: %w", err)
+	}
+	switch run.Status {
+	case "failed":
+		return fmt.Errorf("run %s failed: %s", run.ID, run.Error)
+	case "done":
+	default:
+		return fmt.Errorf("run %s still %s; ask the server again at /v1/runs/%s", run.ID, run.Status, run.ID)
+	}
+	if jsonOut {
+		_, err := fmt.Fprintf(os.Stdout, "%s\n", run.Result)
+		return err
+	}
+	var res struct {
+		Backend string `json:"backend"`
+		Runtime string `json:"runtime"`
+	}
+	if err := json.Unmarshal(run.Result, &res); err != nil {
+		return fmt.Errorf("unreadable result payload: %w", err)
+	}
+	fmt.Printf("run %s (cache %s)\nbackend %s: simulated runtime %s\n", run.ID, cacheStatus, res.Backend, res.Runtime)
+	return nil
 }
 
 // consoleObserver renders run callbacks in the CLI's line format.

@@ -1,0 +1,70 @@
+// Command atlahsd is the ATLAHS simulation server: a resident service
+// that accepts atlahs.spec/v1 run specs over HTTP, executes them on a
+// bounded worker pool, and answers identical re-submissions from a
+// content-addressed run cache without simulating again.
+//
+// Usage:
+//
+//	atlahsd [-addr :8080] [-jobs 2] [-workers 0] [-queue 64] [-cache 256]
+//	        [-artifacts DIR]
+//
+// API (see internal/service):
+//
+//	POST /v1/runs                submit a spec (?wait=1 blocks until done)
+//	GET  /v1/runs/{id}           status / result (Cache-Status: hit|miss)
+//	GET  /v1/runs/{id}/artifact  the run's atlahs.results/v1 sweep JSON
+//	GET  /v1/runs/{id}/events    live run events as SSE
+//	GET  /v1/healthz             liveness probe
+//
+// -jobs bounds how many simulations run concurrently and -workers is the
+// total engine-worker budget they share (0 = all cores); -queue bounds
+// the submission backlog, past which submissions fail fast with 503.
+// With -artifacts every completed run's artifact is also persisted to
+// DIR/<run id>.json, the layout internal/ci/validateresults checks.
+// SIGINT/SIGTERM shut the server down gracefully.
+//
+// Submit a spec from the shell:
+//
+//	echo '{"schema":"atlahs.spec/v1","synthetic":{"pattern":"alltoall",
+//	  "ranks":16,"bytes":65536},"backend":"lgs","workers":-1}' |
+//	  curl -s --data-binary @- localhost:8080/v1/runs?wait=1
+//
+// or use the bundled client: atlahs -submit http://localhost:8080 -spec f.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atlahs/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	jobs := flag.Int("jobs", 2, "concurrent simulations")
+	workers := flag.Int("workers", 0, "total engine-worker budget shared across jobs (0 = all cores)")
+	queue := flag.Int("queue", 64, "submission backlog bound")
+	cache := flag.Int("cache", 256, "completed runs kept addressable")
+	artifacts := flag.String("artifacts", "", "directory to persist per-run result artifacts (optional)")
+	flag.Parse()
+
+	svc, err := service.New(service.Config{
+		Queue:       *queue,
+		Jobs:        *jobs,
+		Workers:     *workers,
+		Cache:       *cache,
+		ArtifactDir: *artifacts,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if err := service.ListenAndServe(svc, *addr); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "atlahsd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,243 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"atlahs/sim"
+)
+
+// The HTTP surface of the simulation service — what atlahsd and
+// `atlahs -serve` expose:
+//
+//	POST /v1/runs            submit an atlahs.spec/v1 spec; ?wait=1 blocks
+//	                         until the run finishes
+//	GET  /v1/runs/{id}           status / result
+//	GET  /v1/runs/{id}/artifact  the run's atlahs.results/v1 sweep JSON
+//	GET  /v1/runs/{id}/events    the run's event stream, as SSE
+//	GET  /v1/healthz             liveness probe
+//
+// Every /v1/runs response carries a Cache-Status header: "hit" when it
+// was answered from the content-addressed run cache without simulating
+// (a duplicate submission, or any read of a finished run), "miss" while
+// an answer still requires simulation work.
+
+// maxSpecBytes bounds a POST /v1/runs body: far above any reasonable
+// spec (workloads travel inline), far below a memory-exhaustion vector.
+const maxSpecBytes = 64 << 20
+
+// runResponse is the JSON body of POST /v1/runs and GET /v1/runs/{id}.
+type runResponse struct {
+	ID     string      `json:"id"`
+	Status Status      `json:"status"`
+	Cached bool        `json:"cached"`
+	Error  string      `json:"error,omitempty"`
+	Result *JSONResult `json:"result,omitempty"`
+}
+
+// errorResponse is the JSON body of every non-2xx API response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ListenAndServe exposes the service's HTTP API on addr until the
+// process receives SIGINT or SIGTERM (the container-stop signal), then
+// shuts down gracefully: the listener closes, in-flight requests get a
+// 10-second drain window, and the service terminates every admitted run
+// before returning. It owns the service's shutdown — callers hand it a
+// fresh Service and it closes it. Both atlahsd and `atlahs -serve` are
+// thin shells over this.
+func ListenAndServe(svc *Service, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: NewHandler(svc)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "atlahs service: listening on %s\n", addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "atlahs service: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	svc.Close()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// NewHandler wraps a Service in its HTTP API.
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", svc.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", svc.handleGet)
+	mux.HandleFunc("GET /v1/runs/{id}/artifact", svc.handleArtifact)
+	mux.HandleFunc("GET /v1/runs/{id}/events", svc.handleEvents)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("spec exceeds %d bytes", maxSpecBytes))
+		return
+	}
+	spec, err := sim.UnmarshalSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	snap, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cached := snap.Cached
+	if wantWait(req) && !snap.Status.Terminal() {
+		waited, err := s.Wait(req.Context(), snap.ID)
+		if err == nil {
+			waited.Cached = cached
+			snap = waited
+		}
+	}
+	writeRun(w, snap, cached)
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, req *http.Request) {
+	snap, ok := s.Get(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", req.PathValue("id")))
+		return
+	}
+	if wantWait(req) && !snap.Status.Terminal() {
+		if waited, err := s.Wait(req.Context(), snap.ID); err == nil {
+			snap = waited
+		}
+	}
+	writeRun(w, snap, snap.Status == StatusDone)
+}
+
+func (s *Service) handleArtifact(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	snap, ok := s.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", id))
+		return
+	}
+	if snap.Status != StatusDone {
+		w.Header().Set("Cache-Status", "miss")
+		writeError(w, http.StatusNotFound, fmt.Errorf("run %s is %s; the artifact exists once it is done", id, snap.Status))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Status", "hit")
+	w.Write(snap.Artifact)
+}
+
+func (s *Service) handleEvents(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	sub, ok := s.Subscribe(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", id))
+		return
+	}
+	defer sub.Close()
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported by this connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	// Detach when the client goes away so the run stops buffering for us.
+	stop := req.Context().Done()
+	go func() {
+		<-stop
+		sub.Close()
+	}()
+	for ev := range sub.C {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+			return
+		}
+		flusher.Flush()
+	}
+}
+
+// wantWait reports whether the request asked to block until the run
+// finishes (?wait=1 or ?wait=true).
+func wantWait(req *http.Request) bool {
+	switch req.URL.Query().Get("wait") {
+	case "1", "true":
+		return true
+	}
+	return false
+}
+
+// writeRun renders one run snapshot with its Cache-Status header: hit
+// when the response was served by the content-addressed cache without
+// simulating, miss otherwise.
+func writeRun(w http.ResponseWriter, snap Snapshot, hit bool) {
+	if hit {
+		w.Header().Set("Cache-Status", "hit")
+	} else {
+		w.Header().Set("Cache-Status", "miss")
+	}
+	resp := runResponse{
+		ID:     snap.ID,
+		Status: snap.Status,
+		Cached: snap.Cached,
+		Error:  snap.Err,
+	}
+	if snap.Result != nil {
+		resp.Result = NewJSONResult(snap.Result)
+	}
+	status := http.StatusOK
+	if !snap.Status.Terminal() {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, resp)
+}
+
+// writeError renders one API error as JSON.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// writeJSON writes one JSON body with the right headers.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,216 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"atlahs/results"
+	"atlahs/sim"
+)
+
+// testServer starts a service behind its HTTP handler.
+func testServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := newService(t, cfg)
+	ts := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+// wireSpec marshals the canonical quick spec the HTTP tests submit.
+func wireSpec(t *testing.T, tag int64) []byte {
+	t.Helper()
+	b, err := sim.MarshalSpec(sim.Spec{
+		Synthetic: &sim.Synthetic{Pattern: "bsp", Ranks: 4, Bytes: 1024 + tag, Phases: 2},
+		Backend:   "lgs",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func postSpec(t *testing.T, url string, body []byte) (*http.Response, runResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/runs?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr runResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	return resp, rr
+}
+
+// TestHTTPSubmitTwice is the service-smoke contract end to end: the first
+// submission misses the cache and simulates; the identical second one is
+// answered `Cache-Status: hit` with the same run id, a done status, and a
+// byte-identical artifact.
+func TestHTTPSubmitTwice(t *testing.T) {
+	_, ts := testServer(t, Config{Jobs: 1})
+	spec := wireSpec(t, 1)
+
+	resp1, rr1 := postSpec(t, ts.URL, spec)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first POST: %d (%+v)", resp1.StatusCode, rr1)
+	}
+	if got := resp1.Header.Get("Cache-Status"); got != "miss" {
+		t.Fatalf("first POST Cache-Status %q, want miss", got)
+	}
+	if rr1.Status != StatusDone || rr1.Cached || rr1.Result == nil || rr1.Result.Ops == 0 {
+		t.Fatalf("first POST body %+v", rr1)
+	}
+
+	resp2, rr2 := postSpec(t, ts.URL, spec)
+	if got := resp2.Header.Get("Cache-Status"); got != "hit" {
+		t.Fatalf("second POST Cache-Status %q, want hit", got)
+	}
+	if !rr2.Cached || rr2.Status != StatusDone || rr2.ID != rr1.ID {
+		t.Fatalf("second POST body %+v", rr2)
+	}
+
+	fetch := func() []byte {
+		resp, err := http.Get(ts.URL + "/v1/runs/" + rr1.ID + "/artifact")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("artifact GET: %d", resp.StatusCode)
+		}
+		if got := resp.Header.Get("Cache-Status"); got != "hit" {
+			t.Fatalf("artifact Cache-Status %q, want hit", got)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a1, a2 := fetch(), fetch()
+	if !bytes.Equal(a1, a2) {
+		t.Fatal("artifact not byte-stable across fetches")
+	}
+	sweep, err := results.DecodeJSON(bytes.NewReader(a1))
+	if err != nil {
+		t.Fatalf("artifact does not schema-validate: %v", err)
+	}
+	if sweep.Name != rr1.ID {
+		t.Fatalf("artifact sweep %q, want %q", sweep.Name, rr1.ID)
+	}
+}
+
+func TestHTTPGetRun(t *testing.T) {
+	_, ts := testServer(t, Config{Jobs: 1})
+	_, rr := postSpec(t, ts.URL, wireSpec(t, 2))
+
+	resp, err := http.Get(ts.URL + "/v1/runs/" + rr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET run: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Cache-Status"); got != "hit" {
+		t.Fatalf("done run GET Cache-Status %q, want hit", got)
+	}
+	var got runResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != rr.ID || got.Status != StatusDone || got.Cached {
+		t.Fatalf("GET body %+v", got)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, ts := testServer(t, Config{Jobs: 1})
+	cases := []struct {
+		name   string
+		do     func() (*http.Response, error)
+		status int
+		want   string
+	}{
+		{"bad-spec", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader("not a spec"))
+		}, http.StatusBadRequest, "decoding spec"},
+		{"invalid-spec", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(`{"schema":"atlahs.spec/v1"}`))
+		}, http.StatusBadRequest, "no workload"},
+		{"unknown-run", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/v1/runs/r_0000000000000000")
+		}, http.StatusNotFound, "unknown run"},
+		{"unknown-artifact", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/v1/runs/r_0000000000000000/artifact")
+		}, http.StatusNotFound, "unknown run"},
+		{"unknown-events", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/v1/runs/r_0000000000000000/events")
+		}, http.StatusNotFound, "unknown run"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, err := c.do()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != c.status {
+				t.Fatalf("status %d, want %d", resp.StatusCode, c.status)
+			}
+			var er errorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(er.Error, c.want) {
+				t.Fatalf("error %q, want it to contain %q", er.Error, c.want)
+			}
+		})
+	}
+}
+
+// TestHTTPEventsSSE: the events endpoint streams SSE frames and ends with
+// the terminal event — for a finished run it replays it immediately.
+func TestHTTPEventsSSE(t *testing.T) {
+	_, ts := testServer(t, Config{Jobs: 1})
+	_, rr := postSpec(t, ts.URL, wireSpec(t, 3))
+
+	resp, err := http.Get(ts.URL + "/v1/runs/" + rr.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body) // the stream closes after the terminal event
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "event: done\n") {
+		t.Fatalf("SSE stream misses the terminal frame:\n%s", text)
+	}
+	if !strings.Contains(text, `"runtime_ps"`) {
+		t.Fatalf("terminal frame misses the result payload:\n%s", text)
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	_, ts := testServer(t, Config{Jobs: 1})
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,460 @@
+// Package service turns the sim facade into a resident simulation
+// service: the layer behind atlahsd and `atlahs -serve`.
+//
+// Three pieces compose. A content-addressed run cache keys every
+// submission by sim.Fingerprint — the canonical result-affecting spec
+// encoding plus the resolved workload digest — so identical
+// re-submissions return the finished sim.Result and its exported
+// atlahs.results/v1 artifact without simulating again, and concurrent
+// duplicates collapse onto the in-flight run (single-flight). This is
+// sound because Results are deterministic: equal fingerprints imply
+// bit-identical results. A bounded job queue feeds a fixed pool of
+// executor slots, and the service's engine-worker budget is divided
+// across those slots the way experiments.ForEach divides a sweep budget,
+// so concurrent jobs share the host instead of multiplying across it.
+// Every run streams its sim.Observer callbacks to any number of
+// subscribers — the bridge the HTTP server's SSE endpoint drains.
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"atlahs/results"
+	"atlahs/sim"
+)
+
+// Config sizes a Service. The zero value is usable: a 64-deep queue, 2
+// concurrent jobs, a GOMAXPROCS engine-worker budget, 256 cached runs,
+// and no artifact directory.
+type Config struct {
+	// Queue bounds how many submitted-but-not-started jobs the service
+	// holds; past it, Submit fails fast with ErrQueueFull instead of
+	// accepting unbounded backlog. Default 64.
+	Queue int
+	// Jobs is how many simulations execute concurrently. Default 2.
+	Jobs int
+	// Workers is the total engine-worker budget shared across the Jobs
+	// executor slots (each slot gets Workers/Jobs, at least 1). <= 0 means
+	// GOMAXPROCS. A spec asking for fewer workers than its slot's share
+	// keeps its own request; asking for more (or for -1, "as many as
+	// allowed") is clamped to the share.
+	Workers int
+	// Cache bounds how many completed runs stay addressable; the oldest
+	// completed runs are evicted first, and queued or running jobs are
+	// never evicted. Default 256.
+	Cache int
+	// ArtifactDir, when non-empty, persists every completed run's
+	// atlahs.results/v1 artifact to a results.Store at <dir>/<run id>.json.
+	ArtifactDir string
+}
+
+// withDefaults fills the documented zero-value defaults.
+func (c Config) withDefaults() Config {
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = 2
+	}
+	if c.Workers <= 0 {
+		c.Workers = -1 // resolved per spec via sim's GOMAXPROCS convention
+	}
+	if c.Cache <= 0 {
+		c.Cache = 256
+	}
+	return c
+}
+
+// Status is a run's lifecycle state.
+type Status string
+
+// Run states: queued (admitted, waiting for an executor slot), running,
+// done (result and artifact available), failed.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool { return s == StatusDone || s == StatusFailed }
+
+// Submission errors.
+var (
+	// ErrQueueFull is returned by Submit when the bounded job queue is at
+	// capacity.
+	ErrQueueFull = errors.New("service: job queue is full; retry later")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("service: closed")
+)
+
+// Snapshot is a point-in-time copy of one run's state. Result and
+// Artifact are shared read-only values; callers must not mutate them.
+type Snapshot struct {
+	// ID is the run's content address: "r_" plus the leading 16 hex digits
+	// of the spec's fingerprint.
+	ID string
+	// Status is the lifecycle state at snapshot time.
+	Status Status
+	// Cached reports that this submission was answered by the
+	// content-addressed cache — an earlier run (finished or in flight) with
+	// the same fingerprint — rather than by scheduling a new simulation.
+	// Snapshots from Get/Wait leave it false; it describes a submission.
+	Cached bool
+	// Result is the deterministic simulation result, once done.
+	Result *sim.Result
+	// Artifact is the run's encoded atlahs.results/v1 sweep, once done.
+	Artifact []byte
+	// Err is the failure message, once failed.
+	Err string
+}
+
+// Service is a resident simulation runner; create with New, stop with
+// Close. All methods are safe for concurrent use.
+type Service struct {
+	cfg   Config
+	store *results.Store
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	queue  chan *run
+	wg     sync.WaitGroup
+	// resolveSem bounds how many submissions resolve workloads (read
+	// files, convert traces) concurrently on caller goroutines, so
+	// admission work cannot multiply past the executor pool's own
+	// parallelism.
+	resolveSem chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	runs   map[string]*run
+	// lookaside short-circuits re-submissions of self-contained specs: it
+	// maps the SHA-256 of a spec's canonical wire encoding (execution
+	// knobs normalised away) to the run id, skipping workload resolution
+	// entirely. Sound because a self-contained spec's wire encoding alone
+	// determines its Fingerprint (see sim.Spec.SelfContained); file-backed
+	// specs never enter it.
+	lookaside map[string]string
+	// doneOrder lists completed run ids oldest-first — the cache's
+	// eviction order.
+	doneOrder []string
+}
+
+// New starts a service: cfg.Jobs executor goroutines consuming a bounded
+// queue. The only error is a broken artifact directory.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:        cfg,
+		queue:      make(chan *run, cfg.Queue),
+		runs:       make(map[string]*run),
+		lookaside:  make(map[string]string),
+		resolveSem: make(chan struct{}, cfg.Jobs),
+	}
+	if cfg.ArtifactDir != "" {
+		store, err := results.NewStore(cfg.ArtifactDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Jobs; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for r := range s.queue {
+				s.execute(r)
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Store returns the artifact store, nil when no ArtifactDir is configured.
+func (s *Service) Store() *results.Store { return s.store }
+
+// RunID computes the content address Submit would file the spec under.
+func RunID(spec sim.Spec) (string, error) {
+	fp, err := sim.Fingerprint(spec)
+	if err != nil {
+		return "", err
+	}
+	return "r_" + fp[:16], nil
+}
+
+// Submit admits one spec: it validates, computes the run's content
+// address, and either returns the existing run at that address (Cached
+// snapshot — finished runs return their result immediately, in-flight
+// runs are joined without a second simulation) or enqueues a new job.
+// A non-nil Observer is rejected — observation happens through Subscribe
+// — and a full queue fails with ErrQueueFull.
+func (s *Service) Submit(spec sim.Spec) (Snapshot, error) {
+	if spec.Observer != nil {
+		return Snapshot{}, fmt.Errorf("service: specs may not carry an Observer; use Subscribe on the returned run id")
+	}
+	// Fast path: a self-contained re-submission is recognised by its
+	// canonical wire bytes alone, without regenerating and digesting the
+	// workload. Failed runs fall through to the full path, which retries
+	// them.
+	lookKey := s.lookasideKey(spec)
+	if lookKey != "" {
+		s.mu.Lock()
+		if id, ok := s.lookaside[lookKey]; ok {
+			if r, ok := s.runs[id]; ok {
+				snap := r.snapshot()
+				if snap.Status != StatusFailed {
+					s.mu.Unlock()
+					snap.Cached = true
+					return snap, nil
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	// Resolve the workload once, under the admission bound: the pinned
+	// spec carries its resolved schedule into the executor, so a cold run
+	// converts its traces exactly once.
+	s.resolveSem <- struct{}{}
+	pinned, fp, err := sim.ResolveSpec(spec)
+	<-s.resolveSem
+	if err != nil {
+		return Snapshot{}, err
+	}
+	id := "r_" + fp[:16]
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Snapshot{}, ErrClosed
+	}
+	if r, ok := s.runs[id]; ok {
+		snap := r.snapshot()
+		if snap.Status != StatusFailed {
+			if lookKey != "" {
+				s.lookaside[lookKey] = id
+				r.lookKeys = append(r.lookKeys, lookKey)
+			}
+			s.mu.Unlock()
+			snap.Cached = true
+			return snap, nil
+		}
+		// A failure is not a result: drop the terminal failed run and
+		// retry, so a transient cause (full disk, a racing file write)
+		// does not poison the content address forever.
+		s.dropLocked(id)
+	}
+	r := newRun(id, pinned)
+	select {
+	case s.queue <- r:
+		s.runs[id] = r
+		if lookKey != "" {
+			s.lookaside[lookKey] = id
+			r.lookKeys = append(r.lookKeys, lookKey)
+		}
+	default:
+		s.mu.Unlock()
+		return Snapshot{}, ErrQueueFull
+	}
+	s.mu.Unlock()
+	return r.snapshot(), nil
+}
+
+// dropLocked forgets a terminal run: its address, lookaside keys and
+// eviction-order entry. The caller holds s.mu.
+func (s *Service) dropLocked(id string) {
+	r, ok := s.runs[id]
+	if !ok {
+		return
+	}
+	for _, key := range r.lookKeys {
+		delete(s.lookaside, key)
+	}
+	delete(s.runs, id)
+	for i, done := range s.doneOrder {
+		if done == id {
+			s.doneOrder = append(s.doneOrder[:i], s.doneOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// lookasideKey computes the fast-path cache key: the SHA-256 of the
+// spec's canonical wire encoding with the result-neutral execution knobs
+// normalised away. Empty when the spec is file-backed (the key would go
+// stale with the file) or cannot be marshalled (third-party config
+// without a wire type) — those take the full fingerprint path.
+func (s *Service) lookasideKey(spec sim.Spec) string {
+	if !spec.SelfContained() {
+		return ""
+	}
+	spec.Workers = 0
+	spec.ProgressEvery = 0
+	b, err := sim.MarshalSpec(spec)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Get returns the run at a content address.
+func (s *Service) Get(id string) (Snapshot, bool) {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Snapshot{}, false
+	}
+	return r.snapshot(), true
+}
+
+// Wait blocks until the run reaches a terminal state (returning its final
+// snapshot) or ctx ends (returning ctx's error).
+func (s *Service) Wait(ctx context.Context, id string) (Snapshot, error) {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Snapshot{}, fmt.Errorf("service: unknown run %q", id)
+	}
+	select {
+	case <-r.done:
+		return r.snapshot(), nil
+	case <-ctx.Done():
+		return Snapshot{}, ctx.Err()
+	}
+}
+
+// Close stops the service: no new submissions, running jobs are
+// cancelled, queued jobs drain as failures, and every run reaches a
+// terminal state before Close returns.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// shareWorkers resolves the engine-worker count one job runs with: the
+// spec's own request, clamped to this service's per-slot share of the
+// worker budget. Backends that cannot shard always run serially (their
+// specs were validated to ask for at most one worker).
+func (s *Service) shareWorkers(spec sim.Spec) int {
+	name := spec.Backend
+	if name == "" {
+		name = "lgs"
+	}
+	def, ok := sim.Lookup(name)
+	if !ok || !def.Parallel {
+		return spec.Workers
+	}
+	budget := s.cfg.Workers
+	if budget < 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	share := budget / s.cfg.Jobs
+	if share < 1 {
+		share = 1
+	}
+	w := spec.Workers
+	if w == 0 {
+		return 0 // the spec asked for serial; honour it
+	}
+	if w < 0 || w > share {
+		return share
+	}
+	return w
+}
+
+// execute runs one job on an executor slot.
+func (s *Service) execute(r *run) {
+	r.setStatus(StatusRunning)
+	spec := r.spec
+	spec.Workers = s.shareWorkers(spec)
+	spec.Observer = r
+	res, err := sim.Run(s.ctx, spec)
+	if err != nil {
+		r.fail(err)
+		s.noteDone(r.id)
+		return
+	}
+	sweep := runSweep(r.id, &r.spec, res)
+	var buf bytes.Buffer
+	if err := results.EncodeJSON(&buf, sweep); err != nil {
+		r.fail(fmt.Errorf("service: encoding run artifact: %w", err))
+		s.noteDone(r.id)
+		return
+	}
+	if s.store != nil {
+		if err := s.store.Save(sweep); err != nil {
+			r.fail(err)
+			s.noteDone(r.id)
+			return
+		}
+	}
+	r.complete(res, buf.Bytes())
+	s.noteDone(r.id)
+}
+
+// noteDone records a terminal run (done or failed — both stay
+// addressable, both count against the bound) for cache-eviction ordering
+// and evicts past it.
+func (s *Service) noteDone(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.doneOrder = append(s.doneOrder, id)
+	for len(s.doneOrder) > s.cfg.Cache {
+		evict := s.doneOrder[0]
+		s.doneOrder = s.doneOrder[1:]
+		if r, ok := s.runs[evict]; ok {
+			for _, key := range r.lookKeys {
+				delete(s.lookaside, key)
+			}
+			delete(s.runs, evict)
+		}
+	}
+	// Retried failures re-enter doneOrder; the dropLocked in Submit keeps
+	// at most one entry per id, so no double-eviction bookkeeping is
+	// needed here.
+}
+
+// runSweep exports one run's deterministic outcome as its
+// atlahs.results/v1 artifact: a per-rank completion table named by the
+// run id, with the headline scalars as derived values. Wall-clock and
+// worker-count measurements are deliberately absent — the artifact must
+// be byte-identical across re-simulations of the same fingerprint.
+func runSweep(id string, spec *sim.Spec, res *sim.Result) *results.Sweep {
+	sw := results.NewSweep(id, "atlahs service run "+id, "service")
+	sw.SetParam("backend", res.Backend)
+	sw.SetParam("ranks", strconv.Itoa(res.Ranks))
+	if len(spec.Jobs) > 0 {
+		sw.SetParam("jobs", strconv.Itoa(len(spec.Jobs)))
+	}
+	sw.AddColumn("rank", results.Int, "")
+	sw.AddColumn("end", results.Duration, "ps")
+	for rank, end := range res.RankEnd {
+		sw.MustAddRow(int64(rank), int64(end))
+	}
+	sw.SetDerived("runtime_ps", float64(res.Runtime))
+	sw.SetDerived("ops", float64(res.Ops))
+	sw.SetDerived("events", float64(res.Events))
+	sw.SetDerived("done_calcs", float64(res.Done.Calcs))
+	sw.SetDerived("done_sends", float64(res.Done.Sends))
+	sw.SetDerived("done_recvs", float64(res.Done.Recvs))
+	return sw
+}

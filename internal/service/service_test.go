@@ -1,0 +1,483 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"atlahs/internal/backend"
+	"atlahs/results"
+	"atlahs/sim"
+)
+
+// The test backends wrap the real LGS model so runs produce real results,
+// while counting (and optionally gating) factory calls: the cache's
+// "exactly one simulation" claims are asserted on simCount, and blockGate
+// lets tests hold a run mid-flight deterministically.
+var (
+	simCount  atomic.Int64
+	blockGate = make(chan struct{})
+)
+
+func init() {
+	sim.Register(sim.Definition{
+		Name:     "countsim",
+		Parallel: true,
+		New: func(cfg any, env sim.Env) (sim.Backend, error) {
+			simCount.Add(1)
+			return backend.NewLGS(backend.AIParams()), nil
+		},
+	})
+	sim.Register(sim.Definition{
+		Name:     "blocksim",
+		Parallel: true,
+		New: func(cfg any, env sim.Env) (sim.Backend, error) {
+			<-blockGate
+			return backend.NewLGS(backend.AIParams()), nil
+		},
+	})
+}
+
+// countSpec builds a countsim spec whose fingerprint varies with tag.
+func countSpec(tag int64) sim.Spec {
+	return sim.Spec{
+		Synthetic: &sim.Synthetic{Pattern: "bsp", Ranks: 4, Bytes: 1024 + tag, Phases: 2},
+		Backend:   "countsim",
+	}
+}
+
+func newService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+func submitAndWait(t *testing.T, svc *Service, spec sim.Spec) Snapshot {
+	t.Helper()
+	snap, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done, err := svc.Wait(ctx, snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done.Cached = snap.Cached
+	return done
+}
+
+// TestSubmitCachesIdenticalSpecs is the subsystem's headline property:
+// submitting the same spec twice performs exactly one simulation, and the
+// second submission returns the cached result with a byte-identical
+// artifact.
+func TestSubmitCachesIdenticalSpecs(t *testing.T) {
+	svc := newService(t, Config{Jobs: 1})
+	spec := countSpec(1000)
+	before := simCount.Load()
+
+	first := submitAndWait(t, svc, spec)
+	if first.Status != StatusDone || first.Cached {
+		t.Fatalf("first submission: %+v", first)
+	}
+	if first.Result == nil || len(first.Artifact) == 0 {
+		t.Fatal("first submission finished without result or artifact")
+	}
+	if got := simCount.Load() - before; got != 1 {
+		t.Fatalf("first submission ran %d simulations", got)
+	}
+
+	second, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.Status != StatusDone {
+		t.Fatalf("second submission not served from cache: %+v", second)
+	}
+	if second.ID != first.ID {
+		t.Fatalf("content address changed: %s vs %s", second.ID, first.ID)
+	}
+	if !bytes.Equal(first.Artifact, second.Artifact) {
+		t.Fatal("cached artifact is not byte-identical")
+	}
+	if !reflect.DeepEqual(first.Result, second.Result) {
+		t.Fatal("cached result differs")
+	}
+	if got := simCount.Load() - before; got != 1 {
+		t.Fatalf("two identical submissions ran %d simulations, want exactly 1", got)
+	}
+
+	// A result-affecting change must miss the cache.
+	other := submitAndWait(t, svc, countSpec(1001))
+	if other.Cached || other.ID == first.ID {
+		t.Fatalf("different spec was served from cache: %+v", other)
+	}
+	if got := simCount.Load() - before; got != 2 {
+		t.Fatalf("expected 2 distinct simulations, got %d", got)
+	}
+}
+
+// TestConcurrentDuplicatesSingleFlight: a duplicate submitted while the
+// first is still in flight joins that run instead of simulating twice.
+func TestConcurrentDuplicatesSingleFlight(t *testing.T) {
+	svc := newService(t, Config{Jobs: 1})
+	spec := sim.Spec{
+		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 2048},
+		Backend:   "blocksim",
+	}
+	first, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatalf("first submission cached: %+v", first)
+	}
+	dup, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.Cached || dup.ID != first.ID {
+		t.Fatalf("in-flight duplicate not joined: %+v", dup)
+	}
+	if dup.Status.Terminal() {
+		t.Fatalf("duplicate claims a result before the run finished: %+v", dup)
+	}
+	blockGate <- struct{}{} // release exactly the one blocked factory call
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done, err := svc.Wait(ctx, first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != StatusDone {
+		t.Fatalf("run did not finish: %+v", done)
+	}
+}
+
+// TestQueueBound: past the configured backlog, Submit fails fast with
+// ErrQueueFull instead of queueing unboundedly.
+func TestQueueBound(t *testing.T) {
+	svc := newService(t, Config{Jobs: 1, Queue: 1})
+	blocked := sim.Spec{
+		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 4096},
+		Backend:   "blocksim",
+	}
+	first, err := svc.Submit(blocked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The executor slot is busy (blocked in the factory); wait until the
+	// job has actually left the queue so the next submission occupies it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap, _ := svc.Get(first.ID)
+		if snap.Status == StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	second := sim.Spec{
+		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 8192},
+		Backend:   "blocksim",
+	}
+	if _, err := svc.Submit(second); err != nil {
+		t.Fatalf("queue depth 1 rejected its first queued job: %v", err)
+	}
+	third := sim.Spec{
+		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 16384},
+		Backend:   "blocksim",
+	}
+	if _, err := svc.Submit(third); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overfull queue: %v, want ErrQueueFull", err)
+	}
+	blockGate <- struct{}{}
+	blockGate <- struct{}{}
+	for _, id := range []string{first.ID} {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if _, err := svc.Wait(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+	}
+}
+
+// TestEventStream: a subscriber attached before the run executes sees
+// started first and the terminal event last; a subscriber attached after
+// completion still receives the terminal event.
+func TestEventStream(t *testing.T) {
+	svc := newService(t, Config{Jobs: 1})
+	spec := sim.Spec{
+		Synthetic:     &sim.Synthetic{Pattern: "bsp", Ranks: 4, Bytes: 1024, Phases: 2},
+		Backend:       "blocksim",
+		ProgressEvery: 5,
+	}
+	snap, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, ok := svc.Subscribe(snap.ID)
+	if !ok {
+		t.Fatal("cannot subscribe to a queued run")
+	}
+	blockGate <- struct{}{}
+	var evs []Event
+	for ev := range sub.C {
+		evs = append(evs, ev)
+	}
+	if len(evs) < 2 {
+		t.Fatalf("only %d events", len(evs))
+	}
+	if evs[0].Type != EventStarted {
+		t.Fatalf("first event %q, want %q", evs[0].Type, EventStarted)
+	}
+	last := evs[len(evs)-1]
+	if last.Type != EventDone {
+		t.Fatalf("last event %q, want %q", last.Type, EventDone)
+	}
+	var sawProgress bool
+	for _, ev := range evs[1 : len(evs)-1] {
+		if ev.Type == EventProgress {
+			sawProgress = true
+		}
+		if ev.Run != snap.ID {
+			t.Fatalf("event for run %q on %q's stream", ev.Run, snap.ID)
+		}
+	}
+	if !sawProgress {
+		t.Fatal("no progress events despite ProgressEvery")
+	}
+
+	late, ok := svc.Subscribe(snap.ID)
+	if !ok {
+		t.Fatal("cannot subscribe to a finished run")
+	}
+	ev, open := <-late.C
+	if !open || ev.Type != EventDone {
+		t.Fatalf("late subscriber got (%+v, %v), want the terminal event", ev, open)
+	}
+	if _, open := <-late.C; open {
+		t.Fatal("late subscription did not close after the terminal event")
+	}
+}
+
+// TestArtifactStore: with an ArtifactDir the run's sweep is persisted at
+// <dir>/<id>.json, loads back through the store, and matches the
+// in-memory artifact bytes.
+func TestArtifactStore(t *testing.T) {
+	dir := t.TempDir()
+	svc := newService(t, Config{Jobs: 1, ArtifactDir: dir})
+	snap := submitAndWait(t, svc, countSpec(2000))
+	if snap.Status != StatusDone {
+		t.Fatalf("run failed: %+v", snap)
+	}
+	sweep, err := svc.Store().Load(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Name != snap.ID || len(sweep.Rows) != snap.Result.Ranks {
+		t.Fatalf("stored sweep %q has %d rows, want %q with %d", sweep.Name, len(sweep.Rows), snap.ID, snap.Result.Ranks)
+	}
+	var buf bytes.Buffer
+	if err := results.EncodeJSON(&buf, sweep); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), snap.Artifact) {
+		t.Fatal("persisted artifact differs from the served one")
+	}
+}
+
+// TestCacheEviction: past the Cache bound the oldest completed run loses
+// its address, and resubmitting it simulates again.
+func TestCacheEviction(t *testing.T) {
+	svc := newService(t, Config{Jobs: 1, Cache: 1})
+	before := simCount.Load()
+	first := submitAndWait(t, svc, countSpec(3000))
+	_ = submitAndWait(t, svc, countSpec(3001))
+	if _, ok := svc.Get(first.ID); ok {
+		t.Fatal("oldest run survived a Cache=1 bound")
+	}
+	re := submitAndWait(t, svc, countSpec(3000))
+	if re.Cached {
+		t.Fatal("evicted run served from cache")
+	}
+	if got := simCount.Load() - before; got != 3 {
+		t.Fatalf("ran %d simulations, want 3 (evicted entry re-simulated)", got)
+	}
+}
+
+// TestFileBackedSpecsRedigestContent: the lookaside fast path must never
+// apply to file-backed specs — when the file's contents change under the
+// same path, a re-submission is a new simulation, not a cache hit.
+func TestFileBackedSpecsRedigestContent(t *testing.T) {
+	svc := newService(t, Config{Jobs: 1})
+	dir := t.TempDir()
+	path := dir + "/work.goal"
+	write := func(ranks int) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := sim.WriteGOALText(&buf, sim.NewBuilder(ranks).MustBuild()); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(2)
+	spec := sim.Spec{GoalPath: path, Backend: "countsim"}
+	before := simCount.Load()
+	first := submitAndWait(t, svc, spec)
+	if first.Status != StatusDone {
+		t.Fatalf("first run: %+v", first)
+	}
+	write(3) // same path, different workload
+	second := submitAndWait(t, svc, spec)
+	if second.Cached || second.ID == first.ID {
+		t.Fatalf("changed file served from cache: %+v vs %+v", second, first)
+	}
+	if second.Result.Ranks != 3 {
+		t.Fatalf("second run simulated %d ranks, want the new file's 3", second.Result.Ranks)
+	}
+	if got := simCount.Load() - before; got != 2 {
+		t.Fatalf("ran %d simulations, want 2", got)
+	}
+}
+
+// TestLookasideIgnoresExecutionKnobs: a self-contained re-submission with
+// a different worker request is still the same run.
+func TestLookasideIgnoresExecutionKnobs(t *testing.T) {
+	svc := newService(t, Config{Jobs: 1})
+	spec := countSpec(5000)
+	first := submitAndWait(t, svc, spec)
+	spec.Workers = -1
+	spec.ProgressEvery = 99
+	again, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.ID != first.ID {
+		t.Fatalf("worker knob broke the content address: %+v vs %+v", again, first)
+	}
+}
+
+// TestShareWorkers pins how the engine-worker budget is split across
+// executor slots.
+func TestShareWorkers(t *testing.T) {
+	svc := newService(t, Config{Jobs: 2, Workers: 8})
+	lgs := func(w int) sim.Spec {
+		return sim.Spec{Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4}, Workers: w}
+	}
+	for _, c := range []struct {
+		name string
+		spec sim.Spec
+		want int
+	}{
+		{"all-you-have", lgs(-1), 4},
+		{"above-share", lgs(100), 4},
+		{"below-share", lgs(2), 2},
+		{"explicit-serial", lgs(0), 0},
+		{"pkt-serial", sim.Spec{Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4}, Backend: "pkt", Workers: 1}, 1},
+	} {
+		if got := svc.shareWorkers(c.spec); got != c.want {
+			t.Fatalf("%s: shareWorkers = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSubmitRejects(t *testing.T) {
+	svc := newService(t, Config{Jobs: 1})
+	if _, err := svc.Submit(sim.Spec{}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if _, err := svc.Submit(sim.Spec{
+		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 2},
+		Observer:  sim.NopObserver{},
+	}); err == nil {
+		t.Fatal("spec with an Observer accepted")
+	}
+}
+
+// TestFailedRunReportsError: a spec whose workload cannot resolve at run
+// time (Validate cannot see file contents) terminates as failed with the
+// error preserved, and is still addressable.
+func TestFailedRunReportsError(t *testing.T) {
+	svc := newService(t, Config{Jobs: 1})
+	// The fingerprint resolves the workload, so a nonexistent path fails at
+	// Submit...
+	if _, err := svc.Submit(sim.Spec{GoalPath: t.TempDir() + "/missing.goal"}); err == nil {
+		t.Fatal("unresolvable workload accepted")
+	}
+	// ...while a config the factory rejects only fails inside the run.
+	snap, err := svc.Submit(sim.Spec{
+		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4},
+		Backend:   "pkt",
+		Config:    sim.PktConfig{HostsPerToR: 4, Oversub: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done, err := svc.Wait(ctx, snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != StatusFailed || done.Err == "" {
+		t.Fatalf("broken config produced %+v, want a failed run with its error", done)
+	}
+	// A failure is not a result: re-submitting the same spec must retry
+	// (fresh run, not a cache hit), never replay the stale failure.
+	retry, err := svc.Submit(sim.Spec{
+		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4},
+		Backend:   "pkt",
+		Config:    sim.PktConfig{HostsPerToR: 4, Oversub: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retry.Cached {
+		t.Fatalf("failed run served as a cache hit: %+v", retry)
+	}
+	again, err := svc.Wait(ctx, retry.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Status != StatusFailed {
+		t.Fatalf("retried run: %+v", again)
+	}
+}
+
+// TestCloseDrains: Close terminates every admitted run.
+func TestCloseDrains(t *testing.T) {
+	svc, err := New(Config{Jobs: 1, Queue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := svc.Submit(countSpec(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	done, ok := svc.Get(snap.ID)
+	if !ok {
+		t.Fatal("run vanished on Close")
+	}
+	if !done.Status.Terminal() {
+		t.Fatalf("run left in state %s after Close", done.Status)
+	}
+	if _, err := svc.Submit(countSpec(4001)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+	}
+}

@@ -31,5 +31,6 @@ func init() {
 			s, _, err := Generate(tr, c)
 			return s, err
 		},
+		NewConfig: func() any { return new(Config) },
 	})
 }

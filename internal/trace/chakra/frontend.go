@@ -26,5 +26,6 @@ func init() {
 			}
 			return ToGOAL(t, c)
 		},
+		NewConfig: func() any { return new(ConvertConfig) },
 	})
 }

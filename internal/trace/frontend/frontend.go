@@ -47,6 +47,13 @@ type Definition struct {
 	// selects defaults. Conversion streams from r: callers hand over the
 	// reader positioned at the start of the trace.
 	Convert func(r io.Reader, cfg any) (*goal.Schedule, error)
+	// NewConfig, when non-nil, returns a pointer to a fresh zero value of
+	// the frontend's config type — the hook the sim spec codec uses to
+	// resolve "frontend_config" wire payloads by frontend name. Frontends
+	// that take no config (the "goal" pass-through) leave it nil; their
+	// wire specs then reject config payloads. The config type must
+	// round-trip through encoding/json for the codec to accept it.
+	NewConfig func() any
 }
 
 // SniffLen is how many leading bytes detection hands to Sniff.

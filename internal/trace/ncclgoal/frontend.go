@@ -27,5 +27,6 @@ func init() {
 			}
 			return Generate(rep, c)
 		},
+		NewConfig: func() any { return new(Config) },
 	})
 }

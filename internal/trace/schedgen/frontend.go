@@ -27,5 +27,6 @@ func init() {
 			}
 			return Generate(tr, opt)
 		},
+		NewConfig: func() any { return new(Options) },
 	})
 }

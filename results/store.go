@@ -1,0 +1,111 @@
+package results
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Store is a directory of atlahs.results/v1 JSON artifacts addressed by
+// sweep name: every sweep lives at <dir>/<name>.json, the invariant the
+// CI validator (internal/ci/validateresults) checks. The simulation
+// service persists one artifact per run id through a Store, and
+// consumers (dashboards, regression differs) look runs up by the same
+// name.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) an artifact directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("results: store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("results: creating artifact store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Path returns where the named sweep's artifact lives, without checking
+// that it exists.
+func (st *Store) Path(name string) string {
+	return filepath.Join(st.dir, name+".json")
+}
+
+// checkName rejects names that are not valid sweep names — which also
+// keeps externally-supplied lookups (an HTTP run id, say) from escaping
+// the store directory.
+func (st *Store) checkName(name string) error {
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("results: store name %q is not a snake_case identifier", name)
+	}
+	return nil
+}
+
+// Save validates the sweep and writes its artifact atomically (temp file
+// plus rename), so a reader never observes a half-written artifact.
+func (st *Store) Save(s *Sweep) error {
+	if err := st.checkName(s.Name); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(st.dir, "."+s.Name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("results: saving sweep %q: %w", s.Name, err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := EncodeJSON(tmp, s); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("results: saving sweep %q: %w", s.Name, err)
+	}
+	if err := os.Rename(tmp.Name(), st.Path(s.Name)); err != nil {
+		return fmt.Errorf("results: saving sweep %q: %w", s.Name, err)
+	}
+	return nil
+}
+
+// Load reads and validates the named sweep, rejecting an artifact whose
+// embedded name disagrees with its file name.
+func (st *Store) Load(name string) (*Sweep, error) {
+	if err := st.checkName(name); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(st.Path(name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := DecodeJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("results: loading sweep %q: %w", name, err)
+	}
+	if s.Name != name {
+		return nil, fmt.Errorf("results: artifact %s holds sweep %q", st.Path(name), s.Name)
+	}
+	return s, nil
+}
+
+// Names lists the sweeps stored in the directory, sorted.
+func (st *Store) Names() ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(st.dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(paths))
+	for _, p := range paths {
+		name := strings.TrimSuffix(filepath.Base(p), ".json")
+		if nameRE.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,106 @@
+package results
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func storeSweep(name string) *Sweep {
+	s := NewSweep(name, "store test", "quick")
+	s.AddColumn("rank", Int, "")
+	s.AddColumn("end", Duration, "ps")
+	s.MustAddRow(int64(0), int64(100))
+	s.MustAddRow(int64(1), int64(250))
+	s.SetDerived("runtime_ps", 250)
+	return s
+}
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := storeSweep("r_0a1b2c3d4e5f6789")
+	if err := st.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(st.Path(want.Name)); err != nil {
+		t.Fatalf("artifact not at Path(): %v", err)
+	}
+	if base := filepath.Base(st.Path(want.Name)); base != want.Name+".json" {
+		t.Fatalf("artifact file %q, want %q", base, want.Name+".json")
+	}
+	got, err := st.Load(want.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed the sweep:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestStoreRejectsBadNames(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", "../escape", "No-Caps", "has space", "0starts_with_digit"} {
+		if err := st.Save(storeSweep(name)); err == nil {
+			t.Fatalf("Save accepted name %q", name)
+		}
+		if _, err := st.Load(name); err == nil {
+			t.Fatalf("Load accepted name %q", name)
+		}
+	}
+}
+
+func TestStoreLoadChecksEmbeddedName(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(storeSweep("real_name")); err != nil {
+		t.Fatal(err)
+	}
+	// A renamed artifact must not masquerade as another run.
+	if err := os.Rename(st.Path("real_name"), st.Path("other_name")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load("other_name"); err == nil || !strings.Contains(err.Error(), "holds sweep") {
+		t.Fatalf("Load of a renamed artifact: %v", err)
+	}
+}
+
+func TestStoreNames(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if err := st.Save(storeSweep(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := st.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+}
+
+func TestStoreMissingLoad(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load("absent"); err == nil {
+		t.Fatal("Load of a missing artifact succeeded")
+	}
+}

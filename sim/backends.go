@@ -110,9 +110,12 @@ func fabricTopo(explicit *Topology, ranks, hostsPerToR, oversub, cores int, link
 }
 
 func init() {
-	Register(Definition{Name: "lgs", Parallel: true, New: newLGS})
-	Register(Definition{Name: "pkt", New: newPkt})
-	Register(Definition{Name: "fluid", New: newFluid})
+	Register(Definition{Name: "lgs", Parallel: true, New: newLGS,
+		NewConfig: func() any { return new(LGSConfig) }})
+	Register(Definition{Name: "pkt", New: newPkt,
+		NewConfig: func() any { return new(PktConfig) }})
+	Register(Definition{Name: "fluid", New: newFluid,
+		NewConfig: func() any { return new(FluidConfig) }})
 }
 
 func newLGS(cfg any, _ Env) (core.Backend, error) {

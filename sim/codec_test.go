@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"atlahs/internal/workload/micro"
+)
+
+// codecSpecs is one wire-worthy spec per built-in backend and frontend —
+// the shapes the codec must round-trip (and the fuzz seed corpus).
+func codecSpecs() map[string]Spec {
+	var sched bytes.Buffer
+	if err := WriteGOALBinary(&sched, micro.Ring(3, 512)); err != nil {
+		panic(err)
+	}
+	return map[string]Spec{
+		"lgs": {
+			Synthetic: &Synthetic{Pattern: "ring", Ranks: 4, Bytes: 1024},
+			Backend:   "lgs",
+			Config:    LGSConfig{Params: HPCParams()},
+			Workers:   4,
+		},
+		"pkt": {
+			GoalBytes: sched.Bytes(),
+			Backend:   "pkt",
+			Config:    PktConfig{HostsPerToR: 8, Oversub: 2, CC: "dctcp"},
+			Seed:      7,
+		},
+		"fluid": {
+			Schedule:  micro.AllToAll(3, 256),
+			Backend:   "fluid",
+			Config:    FluidConfig{JitterFrac: 0.1, Overhead: 1500},
+			CalcScale: 1.5,
+		},
+		"goal-frontend": {
+			Trace: []byte("num_ranks 1\nrank 0 {\nl1: calc 5\n}\n"),
+		},
+		"nsys": {
+			TracePath:      "run.nsys",
+			Frontend:       "nsys",
+			FrontendConfig: NsysConfig{GPUsPerNode: 2, Channels: 2},
+		},
+		"mpi": {
+			TracePath: "run.mpi",
+			Frontend:  "mpi",
+			FrontendConfig: MPIConfig{
+				Algos:        map[CollectiveKind]CollectiveAlgo{CollAllreduce: AlgoRing},
+				MinComputeNs: 500,
+			},
+		},
+		"spc": {
+			TracePath:      "run.spc",
+			Frontend:       "spc",
+			FrontendConfig: SPCConfig{Hosts: 2, Replicas: 3},
+		},
+		"chakra": {
+			TracePath: "run.et",
+			Frontend:  "chakra",
+			FrontendConfig: ChakraConfig{
+				WorldGroup: "world",
+				Groups:     map[string][]int{"tp": {0, 1}},
+			},
+		},
+		"multi-job": {
+			Jobs: []JobSpec{
+				{Synthetic: &Synthetic{Pattern: "bsp", Ranks: 4, Bytes: 2048, Phases: 2}},
+				{TracePath: "ckpt.spc", Frontend: "spc"},
+			},
+			Placement: "interleaved",
+			Backend:   "lgs",
+			Seed:      3,
+		},
+	}
+}
+
+// TestSpecCodecRoundTrip pins the codec's core contract for every built-in
+// backend and frontend: unmarshal(marshal(spec)) is stable under another
+// round trip, and re-encoding is byte-identical (one canonical encoding
+// per spec).
+func TestSpecCodecRoundTrip(t *testing.T) {
+	for name, spec := range codecSpecs() {
+		t.Run(name, func(t *testing.T) {
+			m1, err := MarshalSpec(spec)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			u1, err := UnmarshalSpec(m1)
+			if err != nil {
+				t.Fatalf("unmarshal: %v\nwire:\n%s", err, m1)
+			}
+			m2, err := MarshalSpec(u1)
+			if err != nil {
+				t.Fatalf("re-marshal: %v", err)
+			}
+			if !bytes.Equal(m1, m2) {
+				t.Fatalf("encoding not canonical:\nfirst:\n%s\nsecond:\n%s", m1, m2)
+			}
+			u2, err := UnmarshalSpec(m2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(u1, u2) {
+				t.Fatalf("round trip changed the spec:\nfirst:  %+v\nsecond: %+v", u1, u2)
+			}
+		})
+	}
+}
+
+// TestSpecCodecPreservesResults: a spec that went through the wire must
+// simulate bit-identically to the original.
+func TestSpecCodecPreservesResults(t *testing.T) {
+	spec := Spec{
+		Schedule: micro.BulkSynchronous(6, 3, 8192, 2000),
+		Backend:  "lgs",
+		Config:   LGSConfig{Params: AIParams()},
+	}
+	want, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := UnmarshalSpec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Runtime != want.Runtime || got.Ops != want.Ops || got.Events != want.Events {
+		t.Fatalf("wire round trip changed the simulation: (%v, %d, %d) vs (%v, %d, %d)",
+			got.Runtime, got.Ops, got.Events, want.Runtime, want.Ops, want.Events)
+	}
+}
+
+func TestMarshalSpecRejects(t *testing.T) {
+	ring := &Synthetic{Pattern: "ring", Ranks: 2, Bytes: 64}
+	topo, err := FatTree(4, 4, 1, 0, LinkSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]struct {
+		spec Spec
+		want string
+	}{
+		"observer":           {Spec{Synthetic: ring, Observer: NopObserver{}}, "Observer"},
+		"invalid":            {Spec{}, "no workload"},
+		"unknown-backend":    {Spec{Synthetic: ring, Backend: "nosim"}, "unknown backend"},
+		"config-mismatch":    {Spec{Synthetic: ring, Backend: "lgs", Config: PktConfig{}}, "wants a"},
+		"explicit-topo":      {Spec{Synthetic: ring, Backend: "pkt", Config: PktConfig{Topo: topo}}, "cannot cross the wire"},
+		"mct-sink":           {Spec{Synthetic: ring, Backend: "pkt", Config: PktConfig{MCT: &Sample{}}}, "cannot cross the wire"},
+		"fluid-topo":         {Spec{Synthetic: ring, Backend: "fluid", Config: FluidConfig{Topo: topo}}, "cannot cross the wire"},
+		"sniffed-config":     {Spec{Trace: []byte("x"), FrontendConfig: NsysConfig{}}, "named explicitly"},
+		"goal-config":        {Spec{Trace: []byte("x"), Frontend: "goal", FrontendConfig: NsysConfig{}}, "no wire config type"},
+		"frontend-mismatch":  {Spec{TracePath: "a.nsys", Frontend: "nsys", FrontendConfig: MPIConfig{}}, "wants a"},
+		"placement-sans-job": {Spec{Synthetic: ring, Placement: "packed"}, "only meaningful with Jobs"},
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := MarshalSpec(c.spec); err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %v, want it to contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestUnmarshalSpecRejects(t *testing.T) {
+	cases := map[string]struct {
+		wire string
+		want string
+	}{
+		"garbage":          {"nope", "decoding spec"},
+		"wrong-schema":     {`{"schema":"atlahs.spec/v2","backend":"lgs"}`, "unknown spec schema"},
+		"no-schema":        {`{"backend":"lgs"}`, "unknown spec schema"},
+		"unknown-field":    {`{"schema":"atlahs.spec/v1","bakend":"lgs"}`, "unknown field"},
+		"trailing-data":    {`{"schema":"atlahs.spec/v1","synthetic":{"pattern":"ring","ranks":2}} {}`, "trailing data"},
+		"no-workload":      {`{"schema":"atlahs.spec/v1","backend":"lgs"}`, "no workload"},
+		"unknown-backend":  {`{"schema":"atlahs.spec/v1","synthetic":{"pattern":"ring","ranks":2},"backend":"nosim"}`, "unknown backend"},
+		"unknown-frontend": {`{"schema":"atlahs.spec/v1","trace_path":"x","frontend":"nofmt"}`, "unknown frontend"},
+		"pkt-workers": {`{"schema":"atlahs.spec/v1","synthetic":{"pattern":"ring","ranks":2},"backend":"pkt","workers":4}`,
+			"shares fabric state"},
+		"bad-config-field": {`{"schema":"atlahs.spec/v1","synthetic":{"pattern":"ring","ranks":2},"backend":"lgs","config":{"Nope":1}}`,
+			"unknown field"},
+		"text-schedule": {`{"schema":"atlahs.spec/v1","schedule":"bnVtX3JhbmtzIDEK"}`, "binary GOAL"},
+		"wire-topo": {`{"schema":"atlahs.spec/v1","synthetic":{"pattern":"ring","ranks":2},"backend":"pkt","config":{"Topo":{}}}`,
+			"cannot cross the wire"},
+		"config-sans-frontend": {`{"schema":"atlahs.spec/v1","trace_path":"x","frontend_config":{}}`, "named explicitly"},
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := UnmarshalSpec([]byte(c.wire)); err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %v, want it to contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestValidateSharedErrorText: the codec and Run must reject an invalid
+// spec with byte-identical error text — Validate is the one path.
+func TestValidateSharedErrorText(t *testing.T) {
+	for name, spec := range map[string]Spec{
+		"two-sources":     {Schedule: micro.Ring(2, 64), Synthetic: &Synthetic{Pattern: "ring", Ranks: 2}},
+		"unknown-backend": {Synthetic: &Synthetic{Pattern: "ring", Ranks: 2}, Backend: "nosim"},
+		"pkt-workers":     {Synthetic: &Synthetic{Pattern: "ring", Ranks: 2}, Backend: "pkt", Workers: 4},
+		"bad-pattern":     {Synthetic: &Synthetic{Pattern: "nope", Ranks: 2}},
+		"bad-placement":   {Jobs: []JobSpec{{Synthetic: &Synthetic{Pattern: "ring", Ranks: 2}}}, Placement: "diagonal"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			verr := spec.Validate()
+			if verr == nil {
+				t.Fatal("Validate accepted an invalid spec")
+			}
+			if _, rerr := Run(context.Background(), spec); rerr == nil || rerr.Error() != verr.Error() {
+				t.Fatalf("Run error %q, Validate error %q — entry points disagree", rerr, verr)
+			}
+			if _, merr := MarshalSpec(spec); merr == nil || merr.Error() != verr.Error() {
+				t.Fatalf("MarshalSpec error %q, Validate error %q — entry points disagree", merr, verr)
+			}
+		})
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	base := Spec{Synthetic: &Synthetic{Pattern: "alltoall", Ranks: 4, Bytes: 4096}, Backend: "lgs"}
+	fp := func(t *testing.T, sp Spec) string {
+		t.Helper()
+		s, err := Fingerprint(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	want := fp(t, base)
+	if len(want) != 64 {
+		t.Fatalf("fingerprint %q is not hex SHA-256", want)
+	}
+
+	// Execution knobs never affect results, so they must not affect the
+	// address; neither do spellings of the same default.
+	for name, same := range map[string]Spec{
+		"workers":        {Synthetic: base.Synthetic, Backend: "lgs", Workers: 8},
+		"progress":       {Synthetic: base.Synthetic, Backend: "lgs", ProgressEvery: 10},
+		"default-name":   {Synthetic: base.Synthetic},
+		"explicit-scale": {Synthetic: base.Synthetic, Backend: "lgs", CalcScale: 1},
+	} {
+		if got := fp(t, same); got != want {
+			t.Fatalf("%s: fingerprint %s, want %s (result-neutral knob changed the address)", name, got, want)
+		}
+	}
+
+	// Result-affecting fields must move the address.
+	for name, other := range map[string]Spec{
+		"workload": {Synthetic: &Synthetic{Pattern: "alltoall", Ranks: 4, Bytes: 8192}, Backend: "lgs"},
+		"backend":  {Synthetic: base.Synthetic, Backend: "pkt"},
+		"config":   {Synthetic: base.Synthetic, Backend: "lgs", Config: LGSConfig{Params: HPCParams()}},
+		"scale":    {Synthetic: base.Synthetic, Backend: "lgs", CalcScale: 2},
+		"seed":     {Synthetic: base.Synthetic, Backend: "lgs", Seed: 42},
+	} {
+		if got := fp(t, other); got == want {
+			t.Fatalf("%s: fingerprint did not change", name)
+		}
+	}
+}
+
+// TestResolveSpecPinsWorkload: the spec ResolveSpec returns carries its
+// resolved schedule, so Run neither re-reads files nor re-converts — the
+// single-resolution guarantee the service's submit path relies on.
+func TestResolveSpecPinsWorkload(t *testing.T) {
+	s := micro.Ring(4, 1024)
+	var bin bytes.Buffer
+	if err := WriteGOALBinary(&bin, s); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/pin.bin"
+	if err := os.WriteFile(path, bin.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{GoalPath: path}
+	want, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, fp, err := ResolveSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct, err := Fingerprint(spec); err != nil || direct != fp {
+		t.Fatalf("ResolveSpec fingerprint %s, Fingerprint %s (err %v)", fp, direct, err)
+	}
+	// Deleting the file proves Run uses the pinned resolution.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), pinned)
+	if err != nil {
+		t.Fatalf("pinned spec re-read the deleted file: %v", err)
+	}
+	if got.Runtime != want.Runtime || got.Ops != want.Ops {
+		t.Fatalf("pinned run (%v, %d), want (%v, %d)", got.Runtime, got.Ops, want.Runtime, want.Ops)
+	}
+}
+
+// TestFingerprintAliasesWorkloadSources: the same workload must hash the
+// same whether it arrives as an in-memory schedule, serialised bytes, or
+// a file path — the digest covers resolved content, not provenance.
+func TestFingerprintAliasesWorkloadSources(t *testing.T) {
+	s := micro.Ring(5, 2048)
+	var bin bytes.Buffer
+	if err := WriteGOALBinary(&bin, s); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := dir + "/ring.bin"
+	if err := os.WriteFile(path, bin.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Fingerprint(Spec{Schedule: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, spec := range map[string]Spec{
+		"bytes": {GoalBytes: bin.Bytes()},
+		"path":  {GoalPath: path},
+		"trace": {Trace: bin.Bytes(), Frontend: "goal"},
+	} {
+		got, err := Fingerprint(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("%s: fingerprint %s, want %s", name, got, want)
+		}
+	}
+}

@@ -34,12 +34,23 @@
 // simulation with per-job node sets reported in Result.JobNodes — the
 // paper's heterogeneous co-location scenarios (§3.2) as a one-spec run.
 //
-// The layering is strict: sim (this package, the entry point) sits on
-// internal/trace/frontend (the ingestion registry the trace converters
-// self-register into) and internal/sched (the GOAL dependency scheduler),
-// which drives any internal/core.Backend, which schedules its events on
-// internal/engine (the serial and parallel discrete-event cores). Commands
-// and examples program exclusively against sim; nothing above this package
+// Specs also cross process boundaries: MarshalSpec/UnmarshalSpec give
+// every Spec a canonical wire form under the append-only atlahs.spec/v1
+// schema (config payloads resolved by backend/frontend name through the
+// registries' NewConfig hooks), Validate rejects invalid specs with the
+// same error text at every entry point, and Fingerprint assigns each
+// spec a content address — equal fingerprints imply bit-identical
+// Results, the property the simulation service's run cache is built on.
+//
+// The layering is strict: internal/service (the resident simulation
+// server behind atlahsd — content-addressed run cache, bounded job
+// queue, event streaming over HTTP) sits on sim; sim (this package, the
+// entry point) sits on internal/trace/frontend (the ingestion registry
+// the trace converters self-register into) and internal/sched (the GOAL
+// dependency scheduler), which drives any internal/core.Backend, which
+// schedules its events on internal/engine (the serial and parallel
+// discrete-event cores). Commands and examples program exclusively
+// against sim (or internal/service above it); nothing above this package
 // touches the scheduler, the engines, or the trace converters directly
 // (CI enforces both boundaries).
 //

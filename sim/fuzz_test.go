@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzSpecRoundTrip hardens the spec codec the way the GOAL fuzzers harden
+// the schedule codecs: arbitrary bytes must unmarshal-or-fail cleanly — no
+// panics, no over-allocation — and any spec the decoder accepts must
+// survive an unmarshal -> marshal -> unmarshal round trip with the two
+// decoded specs DeepEqual and the re-encoding byte-stable (one canonical
+// encoding per spec). The seed corpus holds one wire spec per built-in
+// backend and per built-in frontend (codecSpecs), a multi-job composition,
+// and the malformed shapes the error tests cover.
+func FuzzSpecRoundTrip(f *testing.F) {
+	for _, spec := range codecSpecs() {
+		b, err := MarshalSpec(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	for _, raw := range []string{
+		`{"schema":"atlahs.spec/v1","synthetic":{"pattern":"ring","ranks":2}}`,
+		`{"schema":"atlahs.spec/v2"}`,
+		`{"schema":"atlahs.spec/v1","backend":"nosim"}`,
+		`{"schema":"atlahs.spec/v1","schedule":"bm90IGdvYWw="}`,
+		`{"schema":"atlahs.spec/v1","jobs":[{}],"placement":"diagonal"}`,
+		`{"schema":"atlahs.spec/v1","synthetic":{"pattern":"ring","ranks":2},"config":{"Params":{}}}`,
+		`not json at all`,
+	} {
+		f.Add([]byte(raw))
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		u1, err := UnmarshalSpec(raw)
+		if err != nil {
+			return // rejected inputs just need to fail cleanly
+		}
+		m1, err := MarshalSpec(u1)
+		if err != nil {
+			t.Fatalf("MarshalSpec failed on accepted spec: %v", err)
+		}
+		u2, err := UnmarshalSpec(m1)
+		if err != nil {
+			t.Fatalf("round trip rejected:\n%s\nerror: %v", m1, err)
+		}
+		if !reflect.DeepEqual(u1, u2) {
+			t.Fatalf("round trip changed the spec:\nfirst:  %+v\nsecond: %+v", u1, u2)
+		}
+		m2, err := MarshalSpec(u2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(m1, m2) {
+			t.Fatalf("encoding not canonical:\nfirst:\n%s\nsecond:\n%s", m1, m2)
+		}
+	})
+}

@@ -36,6 +36,13 @@ type Definition struct {
 	// Third-party factories name the contract through this package's
 	// aliases: func(cfg any, env sim.Env) (sim.Backend, error).
 	New func(cfg any, env Env) (core.Backend, error)
+	// NewConfig, when non-nil, returns a pointer to a fresh zero value of
+	// the backend's config type — the hook the spec codec
+	// (MarshalSpec/UnmarshalSpec) uses to resolve "config" wire payloads by
+	// backend name. A backend that leaves it nil keeps working in-process
+	// but rejects wire specs that carry a config for it. The config type
+	// must round-trip through encoding/json for the codec to accept it.
+	NewConfig func() any
 }
 
 var registry = struct {

@@ -2,9 +2,7 @@ package sim
 
 import (
 	"context"
-	"fmt"
 	"runtime"
-	"strings"
 	"sync/atomic"
 	"time"
 	"unsafe"
@@ -60,6 +58,18 @@ type Result struct {
 	Wall time.Duration
 }
 
+// resolveWorkers maps the Spec.Workers convention onto an effective worker
+// count: < 0 means GOMAXPROCS, 0 and 1 mean serial.
+func resolveWorkers(workers int) int {
+	if workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if workers == 0 {
+		return 1
+	}
+	return workers
+}
+
 // Tally counts executed GOAL ops by kind.
 type Tally struct {
 	Calcs, Sends, Recvs int64
@@ -81,33 +91,21 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	sch, jobNodes, err := spec.resolve()
 	if err != nil {
 		return nil, err
 	}
-	name := spec.Backend
-	if name == "" {
-		name = "lgs"
-	}
-	def, ok := Lookup(name)
-	if !ok {
-		return nil, fmt.Errorf("sim: unknown backend %q (registered: %s)", name, strings.Join(Backends(), ", "))
-	}
+	name := spec.backendName()
+	def, _ := Lookup(name)
 	be, err := def.New(spec.Config, Env{Ranks: sch.NumRanks(), Seed: spec.Seed})
 	if err != nil {
 		return nil, err
 	}
 
-	workers := spec.Workers
-	if workers < 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers == 0 {
-		workers = 1
-	}
-	if workers > 1 && !def.Parallel {
-		return nil, fmt.Errorf("sim: backend %q shares fabric state across ranks and cannot run on the parallel engine; drop the worker request (got %d)", name, workers)
-	}
+	workers := resolveWorkers(spec.Workers)
 	lookahead := core.LookaheadOf(be)
 	parallel := workers > 1 && lookahead > 0 && sch.NumRanks() > 1
 	var eng engine.Sim

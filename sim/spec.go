@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"atlahs/internal/goal"
+	"atlahs/internal/trace/frontend"
 	"atlahs/internal/workload/micro"
 )
 
@@ -85,6 +86,18 @@ type Spec struct {
 	Observer Observer
 	// ProgressEvery emits Observer.Progress every N completed ops (0 = off).
 	ProgressEvery int64
+
+	// resolved pins the outcome of one workload resolution (ResolveSpec):
+	// Run reuses it instead of re-reading files, re-converting traces and
+	// re-composing jobs. Never set on hand-built or decoded specs.
+	resolved *resolvedWorkload
+}
+
+// resolvedWorkload is the product of resolving a Spec's workload
+// declaration once.
+type resolvedWorkload struct {
+	sched    *goal.Schedule
+	jobNodes [][]int
 }
 
 // Synthetic declares a generated traffic pattern (internal/workload/micro).
@@ -113,10 +126,23 @@ func SyntheticPatterns() []string {
 	return []string{"ring", "alltoall", "incast", "permutation", "uniform", "bsp"}
 }
 
+// validate checks the pattern declaration without generating anything.
+func (sy *Synthetic) validate() error {
+	if sy.Ranks <= 0 {
+		return fmt.Errorf("sim: synthetic workload needs Ranks > 0, got %d", sy.Ranks)
+	}
+	switch sy.Pattern {
+	case "ring", "alltoall", "incast", "permutation", "uniform", "bsp":
+		return nil
+	}
+	return fmt.Errorf("sim: unknown synthetic pattern %q (want one of %s)",
+		sy.Pattern, strings.Join(SyntheticPatterns(), ", "))
+}
+
 // generate builds the schedule for the pattern.
 func (sy *Synthetic) generate(topSeed uint64) (*goal.Schedule, error) {
-	if sy.Ranks <= 0 {
-		return nil, fmt.Errorf("sim: synthetic workload needs Ranks > 0, got %d", sy.Ranks)
+	if err := sy.validate(); err != nil {
+		return nil, err
 	}
 	seed := sy.Seed
 	if seed == 0 {
@@ -209,17 +235,35 @@ func (j *JobSpec) sources() int {
 	return n
 }
 
-// schedule resolves one job's workload source into a GOAL schedule.
-func (j *JobSpec) schedule(topSeed uint64) (*goal.Schedule, error) {
+// validate checks the job's workload declaration without touching the
+// filesystem: exactly one source, frontend fields only alongside a trace
+// source, a resolvable frontend name, and synthetic parameters in range.
+func (j *JobSpec) validate() error {
 	switch n := j.sources(); n {
 	case 0:
-		return nil, fmt.Errorf("sim: no workload; set one of GoalPath, GoalBytes, Schedule, Synthetic, TracePath or Trace")
+		return fmt.Errorf("sim: no workload; set one of GoalPath, GoalBytes, Schedule, Synthetic, TracePath or Trace")
 	case 1:
 	default:
-		return nil, fmt.Errorf("sim: %d workload sources; set exactly one of GoalPath, GoalBytes, Schedule, Synthetic, TracePath or Trace", n)
+		return fmt.Errorf("sim: %d workload sources; set exactly one of GoalPath, GoalBytes, Schedule, Synthetic, TracePath or Trace", n)
 	}
 	if (j.Frontend != "" || j.FrontendConfig != nil) && j.TracePath == "" && len(j.Trace) == 0 {
-		return nil, fmt.Errorf("sim: Frontend/FrontendConfig are only meaningful with a TracePath or Trace workload")
+		return fmt.Errorf("sim: Frontend/FrontendConfig are only meaningful with a TracePath or Trace workload")
+	}
+	if j.Frontend != "" {
+		if _, ok := frontend.Lookup(j.Frontend); !ok {
+			return fmt.Errorf("sim: unknown frontend %q (registered: %s)", j.Frontend, strings.Join(frontend.Names(), ", "))
+		}
+	}
+	if j.Synthetic != nil {
+		return j.Synthetic.validate()
+	}
+	return nil
+}
+
+// schedule resolves one job's workload source into a GOAL schedule.
+func (j *JobSpec) schedule(topSeed uint64) (*goal.Schedule, error) {
+	if err := j.validate(); err != nil {
+		return nil, err
 	}
 	switch {
 	case j.GoalPath != "":
@@ -237,25 +281,82 @@ func (j *JobSpec) schedule(topSeed uint64) (*goal.Schedule, error) {
 	}
 }
 
-// resolve turns the Spec's workload declaration — a single source or a
-// Jobs composition — into the schedule to simulate, plus each composed
-// job's node set (nil for single workloads).
-func (sp *Spec) resolve() (*goal.Schedule, [][]int, error) {
-	single := JobSpec{
+// single gathers the Spec's top-level workload fields as one JobSpec, the
+// unit both validation and resolution work on.
+func (sp *Spec) single() JobSpec {
+	return JobSpec{
 		GoalPath: sp.GoalPath, GoalBytes: sp.GoalBytes,
 		Schedule: sp.Schedule, Synthetic: sp.Synthetic,
 		TracePath: sp.TracePath, Trace: sp.Trace,
 		Frontend: sp.Frontend, FrontendConfig: sp.FrontendConfig,
 	}
+}
+
+// Validate checks the spec's declarative shape without touching the
+// filesystem and without running anything: exactly one workload source
+// (or a Jobs composition), resolvable frontend, placement and backend
+// names, synthetic parameters in range, and a worker request the backend
+// can honour. Run validates through this same path, as do the spec codec
+// (MarshalSpec/UnmarshalSpec) and the simulation service, so an invalid
+// spec is rejected with identical error text at every entry point.
+//
+// What Validate cannot see are the workload's contents: a GoalPath that
+// does not exist, a malformed trace, or a backend config the factory
+// rejects still surface from Run.
+func (sp *Spec) Validate() error {
+	single := sp.single()
 	if len(sp.Jobs) == 0 {
 		if sp.Placement != "" {
-			return nil, nil, fmt.Errorf("sim: Placement %q is only meaningful with Jobs", sp.Placement)
+			return fmt.Errorf("sim: Placement %q is only meaningful with Jobs", sp.Placement)
 		}
+		if err := single.validate(); err != nil {
+			return err
+		}
+	} else {
+		if n := single.sources(); n > 0 {
+			return fmt.Errorf("sim: spec sets both Jobs and %d top-level workload source(s); use one or the other", n)
+		}
+		if _, err := placementPolicy(sp.Placement); err != nil {
+			return err
+		}
+		for i := range sp.Jobs {
+			if err := sp.Jobs[i].validate(); err != nil {
+				return fmt.Errorf("sim: job %d: %w", i, err)
+			}
+		}
+	}
+	name := sp.backendName()
+	def, ok := Lookup(name)
+	if !ok {
+		return fmt.Errorf("sim: unknown backend %q (registered: %s)", name, strings.Join(Backends(), ", "))
+	}
+	if workers := resolveWorkers(sp.Workers); workers > 1 && !def.Parallel {
+		return fmt.Errorf("sim: backend %q shares fabric state across ranks and cannot run on the parallel engine; drop the worker request (got %d)", name, workers)
+	}
+	return nil
+}
+
+// backendName resolves the spec's backend field ("" means "lgs").
+func (sp *Spec) backendName() string {
+	if sp.Backend == "" {
+		return "lgs"
+	}
+	return sp.Backend
+}
+
+// resolve turns the Spec's workload declaration — a single source or a
+// Jobs composition — into the schedule to simulate, plus each composed
+// job's node set (nil for single workloads). The caller has validated.
+// A spec pinned by ResolveSpec returns its resolution without touching
+// the sources again.
+func (sp *Spec) resolve() (*goal.Schedule, [][]int, error) {
+	if sp.resolved != nil {
+		return sp.resolved.sched, sp.resolved.jobNodes, nil
+	}
+	if len(sp.Jobs) == 0 {
+		single := sp.single()
 		s, err := single.schedule(sp.Seed)
 		return s, nil, err
-	}
-	if n := single.sources(); n > 0 {
-		return nil, nil, fmt.Errorf("sim: spec sets both Jobs and %d top-level workload source(s); use one or the other", n)
 	}
 	policy, err := placementPolicy(sp.Placement)
 	if err != nil {
