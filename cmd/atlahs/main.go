@@ -10,6 +10,7 @@
 //	atlahs -spec run.json [flags]             # atlahs.spec/v1 wire spec
 //	atlahs -serve :8080 [-jobs 2]             # run as a simulation server
 //	atlahs -submit URL -spec run.json         # submit to a running server
+//	atlahs -submit URL -sweep a.json b.json   # batch-submit specs as one sweep
 //
 // Flags: [-backend lgs|pkt|fluid] [-params ai|hpc] [-hosts-per-tor 4]
 // [-oversub 1] [-cc mprdma] [-seed 1] [-workers 1] [-progress 0] [-json]
@@ -31,7 +32,12 @@
 // (see cmd/atlahsd for the full-featured server), and -submit sends a
 // spec to such a server, waits, and prints the result exactly like a
 // local -json run — identical submissions are answered from the server's
-// content-addressed run cache without simulating again.
+// content-addressed run cache without simulating again. -submit with
+// -sweep batch-submits every spec file named as a positional argument as
+// one POST /v1/sweeps payload: the server fingerprints all of them,
+// collapses duplicates against each other and its cache, and answers with
+// the combined view, which is printed per run (or as the raw combined
+// JSON with -json).
 //
 // The lgs backend is topology-oblivious; pkt and fluid build a two-level
 // fat tree sized to the schedule. -workers > 1 runs the lgs backend on the
@@ -74,13 +80,14 @@ func main() {
 	serveAddr := flag.String("serve", "", "run as a simulation server on this address instead of simulating")
 	jobs := flag.Int("jobs", 2, "concurrent simulations in -serve mode")
 	submitURL := flag.String("submit", "", "submit the spec to a running atlahsd/-serve server at this base URL")
+	sweepMode := flag.Bool("sweep", false, "with -submit: batch-submit the spec files given as positional arguments as one sweep")
 	flag.Parse()
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	if *serveAddr != "" {
-		for _, name := range []string{"goal", "trace", "spec", "submit", "json", "frontend"} {
+		for _, name := range []string{"goal", "trace", "spec", "submit", "sweep", "json", "frontend"} {
 			if set[name] {
 				fail(fmt.Errorf("-serve runs a server; -%s does not apply", name))
 			}
@@ -89,6 +96,29 @@ func main() {
 			fail(err)
 		}
 		return
+	}
+
+	if *sweepMode {
+		// A sweep is a batch of authoritative spec files, so the same flags
+		// that conflict with -spec conflict here, plus -spec itself.
+		if *submitURL == "" {
+			fail(fmt.Errorf("-sweep batch-submits to a server; set -submit URL"))
+		}
+		for _, name := range []string{"goal", "trace", "frontend", "spec", "backend", "params", "hosts-per-tor", "oversub", "cc", "seed", "calc-scale", "progress", "workers"} {
+			if set[name] {
+				fail(fmt.Errorf("-sweep takes spec files as arguments; drop -%s (set it inside the spec files)", name))
+			}
+		}
+		if flag.NArg() == 0 {
+			fail(fmt.Errorf("-sweep needs at least one spec file argument"))
+		}
+		if err := submitSweep(*submitURL, flag.Args(), *jsonOut); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if flag.NArg() > 0 {
+		fail(fmt.Errorf("unexpected arguments %q (spec files are only positional with -sweep)", flag.Args()))
 	}
 
 	var spec sim.Spec
@@ -229,14 +259,8 @@ func submit(baseURL string, spec sim.Spec, jsonOut bool) error {
 		return err
 	}
 	cacheStatus := resp.Header.Get("Cache-Status")
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-		var er struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(body, &er) == nil && er.Error != "" {
-			return fmt.Errorf("server rejected the spec: %s", er.Error)
-		}
-		return fmt.Errorf("server returned %s: %s", resp.Status, bytes.TrimSpace(body))
+	if err := serverError(resp, body); err != nil {
+		return err
 	}
 	var run struct {
 		ID     string          `json:"id"`
@@ -266,6 +290,119 @@ func submit(baseURL string, spec sim.Spec, jsonOut bool) error {
 		return fmt.Errorf("unreadable result payload: %w", err)
 	}
 	fmt.Printf("run %s (cache %s)\nbackend %s: simulated runtime %s\n", run.ID, cacheStatus, res.Backend, res.Runtime)
+	return nil
+}
+
+// serverError maps a non-2xx service response onto one client-side error
+// carrying both the HTTP status and the server's JSON error message (the
+// errorResponse body every non-2xx API response carries), falling back to
+// the raw body when the message is missing. A Retry-After header — the
+// 503 contract for a full queue or a closing server — is surfaced as a
+// hint.
+func serverError(resp *http.Response, body []byte) error {
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		return nil
+	}
+	retry := ""
+	if after := resp.Header.Get("Retry-After"); after != "" {
+		retry = fmt.Sprintf(" (retry after %ss)", after)
+	}
+	var er struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		return fmt.Errorf("server returned %s: %s%s", resp.Status, er.Error, retry)
+	}
+	return fmt.Errorf("server returned %s: %s%s", resp.Status, bytes.TrimSpace(body), retry)
+}
+
+// submitSweep batch-submits the named spec files as one POST /v1/sweeps
+// payload and renders the combined view: the server's raw JSON in -json
+// mode, or one line per unique run plus a summary in text mode.
+func submitSweep(baseURL string, files []string, jsonOut bool) error {
+	var payload struct {
+		Schema string            `json:"schema"`
+		Specs  []json.RawMessage `json:"specs"`
+	}
+	payload.Schema = "atlahs.sweep/v1"
+	for _, file := range files {
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		// Round-trip through the codec so a broken spec file fails here,
+		// with its file name, instead of as an opaque index server-side.
+		spec, err := sim.UnmarshalSpec(b)
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		wire, err := sim.MarshalSpec(spec)
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		payload.Specs = append(payload.Specs, wire)
+	}
+	wire, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimSuffix(baseURL, "/") + "/v1/sweeps?wait=1"
+	resp, err := http.Post(url, "application/json", bytes.NewReader(wire))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if err := serverError(resp, body); err != nil {
+		return err
+	}
+	if jsonOut {
+		_, err := fmt.Fprintf(os.Stdout, "%s\n", bytes.TrimSpace(body))
+		return err
+	}
+	var sweep struct {
+		ID     string `json:"id"`
+		Specs  int    `json:"specs"`
+		Total  int    `json:"total"`
+		Done   int    `json:"done"`
+		Failed int    `json:"failed"`
+		Cached int    `json:"cached"`
+		Runs   []struct {
+			ID     string `json:"id"`
+			Status string `json:"status"`
+			Cached bool   `json:"cached"`
+			Error  string `json:"error"`
+			Result struct {
+				Backend string `json:"backend"`
+				Runtime string `json:"runtime"`
+			} `json:"result"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(body, &sweep); err != nil {
+		return fmt.Errorf("unreadable server response: %w", err)
+	}
+	fmt.Printf("sweep %s: %d specs -> %d runs (%d cached, %d done, %d failed)\n",
+		sweep.ID, sweep.Specs, sweep.Total, sweep.Cached, sweep.Done, sweep.Failed)
+	for _, run := range sweep.Runs {
+		verdict := "miss"
+		if run.Cached {
+			verdict = "hit"
+		}
+		switch run.Status {
+		case "failed":
+			fmt.Printf("  run %s (cache %s) failed: %s\n", run.ID, verdict, run.Error)
+		case "done":
+			fmt.Printf("  run %s (cache %s) backend %s: simulated runtime %s\n", run.ID, verdict, run.Result.Backend, run.Result.Runtime)
+		default:
+			fmt.Printf("  run %s (cache %s) still %s\n", run.ID, verdict, run.Status)
+		}
+	}
+	if sweep.Failed > 0 {
+		return fmt.Errorf("sweep %s: %d of %d runs failed", sweep.ID, sweep.Failed, sweep.Total)
+	}
 	return nil
 }
 

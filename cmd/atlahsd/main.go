@@ -14,13 +14,24 @@
 //	GET  /v1/runs/{id}           status / result (Cache-Status: hit|miss)
 //	GET  /v1/runs/{id}/artifact  the run's atlahs.results/v1 sweep JSON
 //	GET  /v1/runs/{id}/events    live run events as SSE
+//	POST /v1/sweeps              batch-submit N specs as one sweep
+//	GET  /v1/sweeps/{id}         combined status of a batch
+//	GET  /v1/sweeps/{id}/artifact combined per-run artifact view
 //	GET  /v1/healthz             liveness probe
 //
 // -jobs bounds how many simulations run concurrently and -workers is the
 // total engine-worker budget they share (0 = all cores); -queue bounds
-// the submission backlog, past which submissions fail fast with 503.
+// the submission backlog, past which submissions fail fast with 503 and
+// a Retry-After header. Admission is fair-share: each submitter class
+// (X-Submitter header, or one per batch sweep) drains round-robin, FIFO
+// within a class, so a giant sweep cannot starve interactive runs.
 // With -artifacts every completed run's artifact is also persisted to
-// DIR/<run id>.json, the layout internal/ci/validateresults checks.
+// DIR/<run id>.json, the layout internal/ci/validateresults checks, plus
+// a metadata sidecar under DIR/meta/ — and the content-addressed run
+// cache becomes durable: on boot the run index is rebuilt from the
+// stored artifacts, so identical re-submissions keep answering
+// `Cache-Status: hit` across restarts without re-simulating (corrupt or
+// partial artifacts are skipped with a logged warning).
 // SIGINT/SIGTERM shut the server down gracefully.
 //
 // Submit a spec from the shell:

@@ -134,7 +134,10 @@ func (sub *Subscription) deliver(ev Event, droppable bool) {
 
 // run is one content-addressed simulation job.
 type run struct {
-	id   string
+	id string
+	// fp is the full fingerprint the id derives from, persisted in the
+	// run's metadata sidecar so a rebuilt index can re-verify the address.
+	fp   string
 	spec sim.Spec
 	done chan struct{}
 	// lookKeys are the fast-path cache keys pointing at this run, owned
@@ -153,14 +156,34 @@ type run struct {
 	subs     map[*Subscription]struct{}
 }
 
-func newRun(id string, spec sim.Spec) *run {
+func newRun(id, fp string, spec sim.Spec) *run {
 	return &run{
 		id:     id,
+		fp:     fp,
 		spec:   spec,
 		status: StatusQueued,
 		done:   make(chan struct{}),
 		subs:   make(map[*Subscription]struct{}),
 	}
+}
+
+// newDoneRun reconstructs an already-finished run from persisted state —
+// the rebuilt cache entry a restarted service answers from. Its done
+// channel is born closed, so waiters and late subscribers behave exactly
+// as they do for a run that finished in this process.
+func newDoneRun(id, fp string, res *sim.Result, artifact []byte, lookKeys []string) *run {
+	r := &run{
+		id:       id,
+		fp:       fp,
+		status:   StatusDone,
+		result:   res,
+		artifact: artifact,
+		lookKeys: lookKeys,
+		done:     make(chan struct{}),
+		subs:     make(map[*Subscription]struct{}),
+	}
+	close(r.done)
+	return r
 }
 
 // snapshot copies the run's current state.

@@ -8,12 +8,21 @@
 // atlahs.results/v1 artifact without simulating again, and concurrent
 // duplicates collapse onto the in-flight run (single-flight). This is
 // sound because Results are deterministic: equal fingerprints imply
-// bit-identical results. A bounded job queue feeds a fixed pool of
-// executor slots, and the service's engine-worker budget is divided
-// across those slots the way experiments.ForEach divides a sweep budget,
-// so concurrent jobs share the host instead of multiplying across it.
-// Every run streams its sim.Observer callbacks to any number of
-// subscribers — the bridge the HTTP server's SSE endpoint drains.
+// bit-identical results. With an ArtifactDir the cache is also durable:
+// every completed run persists its artifact plus a metadata sidecar to
+// the results.Store, and a restarted service rebuilds its run index from
+// those artifacts on boot, so re-submissions keep hitting across process
+// restarts (corrupt or partial artifacts are skipped with a logged
+// warning, never trusted). A bounded admission queue — fair-share across
+// submitter classes, FIFO within one — feeds a fixed pool of executor
+// slots, and the service's engine-worker budget is divided across those
+// slots the way experiments.ForEach divides a sweep budget, so concurrent
+// jobs share the host instead of multiplying across it. Batch sweeps
+// (SubmitSweep, POST /v1/sweeps) admit N specs as one unit, deduplicated
+// against each other and the cache, each sweep its own fairness class so
+// a giant batch cannot starve interactive submissions. Every run streams
+// its sim.Observer callbacks to any number of subscribers — the bridge
+// the HTTP server's SSE endpoint drains.
 package service
 
 import (
@@ -23,6 +32,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
 	"strconv"
 	"sync"
@@ -52,8 +62,13 @@ type Config struct {
 	// never evicted. Default 256.
 	Cache int
 	// ArtifactDir, when non-empty, persists every completed run's
-	// atlahs.results/v1 artifact to a results.Store at <dir>/<run id>.json.
+	// atlahs.results/v1 artifact to a results.Store at <dir>/<run id>.json
+	// (plus a metadata sidecar under <dir>/meta/), and rebuilds the run
+	// index from those artifacts on the next boot.
 	ArtifactDir string
+	// Logger receives operational warnings (skipped artifacts on rebuild,
+	// failed response writes). Nil means log.Default().
+	Logger *log.Logger
 }
 
 // withDefaults fills the documented zero-value defaults.
@@ -123,10 +138,11 @@ type Snapshot struct {
 type Service struct {
 	cfg   Config
 	store *results.Store
+	log   *log.Logger
 
 	ctx    context.Context
 	cancel context.CancelFunc
-	queue  chan *run
+	sched  *jobQueue
 	wg     sync.WaitGroup
 	// resolveSem bounds how many submissions resolve workloads (read
 	// files, convert traces) concurrently on caller goroutines, so
@@ -147,18 +163,30 @@ type Service struct {
 	// doneOrder lists completed run ids oldest-first — the cache's
 	// eviction order.
 	doneOrder []string
+	// batches indexes submitted sweeps by their content-derived batch id;
+	// batchOrder is their eviction order, oldest first.
+	batches    map[string]*batch
+	batchOrder []string
 }
 
-// New starts a service: cfg.Jobs executor goroutines consuming a bounded
-// queue. The only error is a broken artifact directory.
+// New starts a service: cfg.Jobs executor goroutines consuming the
+// fair-share admission queue. With an ArtifactDir the run index is first
+// rebuilt from the store's surviving artifacts, so the content-addressed
+// cache answers re-submissions from before the restart. The only error is
+// a broken artifact directory.
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:        cfg,
-		queue:      make(chan *run, cfg.Queue),
+		log:        cfg.Logger,
+		sched:      newJobQueue(cfg.Queue),
 		runs:       make(map[string]*run),
 		lookaside:  make(map[string]string),
+		batches:    make(map[string]*batch),
 		resolveSem: make(chan struct{}, cfg.Jobs),
+	}
+	if s.log == nil {
+		s.log = log.Default()
 	}
 	if cfg.ArtifactDir != "" {
 		store, err := results.NewStore(cfg.ArtifactDir)
@@ -166,13 +194,18 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 		s.store = store
+		s.rebuild()
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Jobs; i++ {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			for r := range s.queue {
+			for {
+				r, ok := s.sched.pop()
+				if !ok {
+					return
+				}
 				s.execute(r)
 			}
 		}()
@@ -197,8 +230,20 @@ func RunID(spec sim.Spec) (string, error) {
 // snapshot — finished runs return their result immediately, in-flight
 // runs are joined without a second simulation) or enqueues a new job.
 // A non-nil Observer is rejected — observation happens through Subscribe
-// — and a full queue fails with ErrQueueFull.
+// — and a full queue fails with ErrQueueFull. The run queues in the
+// default interactive admission class; SubmitIn names one explicitly.
 func (s *Service) Submit(spec sim.Spec) (Snapshot, error) {
+	return s.SubmitIn(DefaultClass, spec)
+}
+
+// SubmitIn is Submit with an explicit admission class. Executor slots are
+// shared round-robin across classes with pending work (FIFO within one),
+// so submissions in one class — a submitter, a batch sweep — cannot
+// starve the others. An empty class means DefaultClass.
+func (s *Service) SubmitIn(class string, spec sim.Spec) (Snapshot, error) {
+	if class == "" {
+		class = DefaultClass
+	}
 	if spec.Observer != nil {
 		return Snapshot{}, fmt.Errorf("service: specs may not carry an Observer; use Subscribe on the returned run id")
 	}
@@ -252,17 +297,15 @@ func (s *Service) Submit(spec sim.Spec) (Snapshot, error) {
 		// does not poison the content address forever.
 		s.dropLocked(id)
 	}
-	r := newRun(id, pinned)
-	select {
-	case s.queue <- r:
-		s.runs[id] = r
-		if lookKey != "" {
-			s.lookaside[lookKey] = id
-			r.lookKeys = append(r.lookKeys, lookKey)
-		}
-	default:
+	r := newRun(id, fp, pinned)
+	if err := s.sched.push(class, r); err != nil {
 		s.mu.Unlock()
-		return Snapshot{}, ErrQueueFull
+		return Snapshot{}, err
+	}
+	s.runs[id] = r
+	if lookKey != "" {
+		s.lookaside[lookKey] = id
+		r.lookKeys = append(r.lookKeys, lookKey)
 	}
 	s.mu.Unlock()
 	return r.snapshot(), nil
@@ -318,13 +361,22 @@ func (s *Service) Get(id string) (Snapshot, bool) {
 }
 
 // Wait blocks until the run reaches a terminal state (returning its final
-// snapshot) or ctx ends (returning ctx's error).
+// snapshot) or ctx ends (returning ctx's error). An already-finished run
+// always returns its snapshot, even on a context that is already
+// cancelled — the answer exists, no waiting happened.
 func (s *Service) Wait(ctx context.Context, id string) (Snapshot, error) {
 	s.mu.Lock()
 	r, ok := s.runs[id]
 	s.mu.Unlock()
 	if !ok {
 		return Snapshot{}, fmt.Errorf("service: unknown run %q", id)
+	}
+	// Resolve the done-and-cancelled race deterministically in favour of
+	// the snapshot.
+	select {
+	case <-r.done:
+		return r.snapshot(), nil
+	default:
 	}
 	select {
 	case <-r.done:
@@ -346,7 +398,7 @@ func (s *Service) Close() {
 	s.closed = true
 	s.mu.Unlock()
 	s.cancel()
-	close(s.queue)
+	s.sched.close()
 	s.wg.Wait()
 }
 
@@ -402,6 +454,14 @@ func (s *Service) execute(r *run) {
 	}
 	if s.store != nil {
 		if err := s.store.Save(sweep); err != nil {
+			r.fail(err)
+			s.noteDone(r.id)
+			return
+		}
+		// The sidecar makes the artifact trustworthy again after a restart;
+		// a run whose sidecar cannot be written is failed like one whose
+		// artifact cannot, so "done with a store" always means "restorable".
+		if err := s.saveMeta(r, res); err != nil {
 			r.fail(err)
 			s.noteDone(r.id)
 			return

@@ -4,8 +4,12 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"log"
 	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -17,11 +21,17 @@ import (
 
 // The test backends wrap the real LGS model so runs produce real results,
 // while counting (and optionally gating) factory calls: the cache's
-// "exactly one simulation" claims are asserted on simCount, and blockGate
-// lets tests hold a run mid-flight deterministically.
+// "exactly one simulation" claims are asserted on simCount, blockGate
+// lets tests hold a run mid-flight deterministically, gateEntered /
+// gateRelease signal entry into (and control exit from) a gated factory,
+// and orderSeen records the execution order of ordersim runs by seed.
 var (
-	simCount  atomic.Int64
-	blockGate = make(chan struct{})
+	simCount    atomic.Int64
+	blockGate   = make(chan struct{})
+	gateEntered = make(chan struct{})
+	gateRelease = make(chan struct{})
+	orderMu     sync.Mutex
+	orderSeen   []uint64
 )
 
 func init() {
@@ -38,6 +48,25 @@ func init() {
 		Parallel: true,
 		New: func(cfg any, env sim.Env) (sim.Backend, error) {
 			<-blockGate
+			return backend.NewLGS(backend.AIParams()), nil
+		},
+	})
+	sim.Register(sim.Definition{
+		Name:     "gatesim",
+		Parallel: true,
+		New: func(cfg any, env sim.Env) (sim.Backend, error) {
+			gateEntered <- struct{}{}
+			<-gateRelease
+			return backend.NewLGS(backend.AIParams()), nil
+		},
+	})
+	sim.Register(sim.Definition{
+		Name:     "ordersim",
+		Parallel: true,
+		New: func(cfg any, env sim.Env) (sim.Backend, error) {
+			orderMu.Lock()
+			orderSeen = append(orderSeen, env.Seed)
+			orderMu.Unlock()
 			return backend.NewLGS(backend.AIParams()), nil
 		},
 	})
@@ -479,5 +508,354 @@ func TestCloseDrains(t *testing.T) {
 	}
 	if _, err := svc.Submit(countSpec(4001)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestRestartRebuildsCache is the tentpole's acceptance test: a service
+// restarted over the same artifact directory answers an identical
+// re-submission from the rebuilt run index — cache hit, byte-identical
+// artifact, equal result, and no simulation executed.
+func TestRestartRebuildsCache(t *testing.T) {
+	dir := t.TempDir()
+	spec := countSpec(7000)
+	before := simCount.Load()
+
+	svc, err := New(Config{Jobs: 1, ArtifactDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := submitAndWait(t, svc, spec)
+	if first.Status != StatusDone {
+		t.Fatalf("first run: %+v", first)
+	}
+	svc.Close()
+
+	svc2 := newService(t, Config{Jobs: 1, ArtifactDir: dir})
+	// The restored run must be addressable before any re-submission.
+	got, ok := svc2.Get(first.ID)
+	if !ok || got.Status != StatusDone {
+		t.Fatalf("restarted service lost run %s: (%+v, %v)", first.ID, got, ok)
+	}
+	again, err := svc2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Status != StatusDone || again.ID != first.ID {
+		t.Fatalf("re-submission after restart not served from cache: %+v", again)
+	}
+	if !bytes.Equal(first.Artifact, again.Artifact) {
+		t.Fatal("restored artifact is not byte-identical")
+	}
+	if !reflect.DeepEqual(first.Result, again.Result) {
+		t.Fatalf("restored result differs:\n%+v\nvs\n%+v", first.Result, again.Result)
+	}
+	if got := simCount.Load() - before; got != 1 {
+		t.Fatalf("restart + re-submission ran %d simulations, want exactly 1", got)
+	}
+}
+
+// TestRestartSkipsCorruptArtifacts: a stored artifact that fails
+// validation — corrupt bytes, or a missing metadata sidecar — is skipped
+// with a logged warning, never trusted: the run is not addressable after
+// the restart and an identical re-submission simulates again.
+func TestRestartSkipsCorruptArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	spec := countSpec(7100)
+	svc, err := New(Config{Jobs: 1, ArtifactDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := submitAndWait(t, svc, spec)
+	if snap.Status != StatusDone {
+		t.Fatalf("seed run: %+v", snap)
+	}
+	svc.Close()
+
+	// Corrupt the artifact itself.
+	if err := os.WriteFile(svc.Store().Path(snap.ID), []byte(`{"schema":"broken`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var logs bytes.Buffer
+	svc2 := newService(t, Config{Jobs: 1, ArtifactDir: dir, Logger: log.New(&logs, "", 0)})
+	if _, ok := svc2.Get(snap.ID); ok {
+		t.Fatal("corrupt artifact was restored into the run index")
+	}
+	if !strings.Contains(logs.String(), "skipping stored run "+snap.ID) {
+		t.Fatalf("no skip warning logged; log output:\n%s", logs.String())
+	}
+	before := simCount.Load()
+	re := submitAndWait(t, svc2, spec)
+	if re.Cached || re.Status != StatusDone {
+		t.Fatalf("corrupt entry answered from cache: %+v", re)
+	}
+	if got := simCount.Load() - before; got != 1 {
+		t.Fatalf("re-submission over a corrupt artifact ran %d simulations, want 1", got)
+	}
+	svc2.Close()
+
+	// An artifact without its sidecar is equally untrusted.
+	if err := os.Remove(filepath.Join(dir, "meta", snap.ID+".json")); err != nil {
+		t.Fatal(err)
+	}
+	logs.Reset()
+	svc3 := newService(t, Config{Jobs: 1, ArtifactDir: dir, Logger: log.New(&logs, "", 0)})
+	if _, ok := svc3.Get(snap.ID); ok {
+		t.Fatal("artifact without a sidecar was restored into the run index")
+	}
+	if !strings.Contains(logs.String(), "metadata sidecar") {
+		t.Fatalf("skip warning does not name the missing sidecar; log output:\n%s", logs.String())
+	}
+}
+
+// TestWaitCancelledContext pins Wait's ordering guarantee: a finished run
+// returns its snapshot even on an already-cancelled context, while a run
+// still in flight returns the context's error.
+func TestWaitCancelledContext(t *testing.T) {
+	svc := newService(t, Config{Jobs: 1})
+	finished := submitAndWait(t, svc, countSpec(7200))
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	snap, err := svc.Wait(cancelled, finished.ID)
+	if err != nil {
+		t.Fatalf("Wait on a finished run with a cancelled context: %v", err)
+	}
+	if snap.Status != StatusDone {
+		t.Fatalf("finished run reported %+v", snap)
+	}
+
+	inflight, err := svc.Submit(sim.Spec{
+		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 7201},
+		Backend:   "blocksim",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Wait(cancelled, inflight.ID); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait on an in-flight run with a cancelled context: %v, want context.Canceled", err)
+	}
+	blockGate <- struct{}{}
+	ctx, cancelLive := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancelLive()
+	if _, err := svc.Wait(ctx, inflight.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJobQueueFairShare unit-tests the admission queue: classes drain
+// round-robin (FIFO within one), pushes are atomic all-or-none against
+// the capacity bound, and close drains the backlog before pop reports
+// exhaustion.
+func TestJobQueueFairShare(t *testing.T) {
+	mk := func(id string) *run { return &run{id: id} }
+	q := newJobQueue(10)
+	if err := q.push("batch", mk("a1"), mk("a2"), mk("a3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(DefaultClass, mk("b1")); err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	for i := 0; i < 4; i++ {
+		r, ok := q.pop()
+		if !ok {
+			t.Fatalf("queue exhausted after %d pops", i)
+		}
+		order = append(order, r.id)
+	}
+	if want := []string{"a1", "b1", "a2", "a3"}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("drain order %v, want round-robin %v", order, want)
+	}
+
+	q2 := newJobQueue(2)
+	if err := q2.push("c", mk("x1"), mk("x2"), mk("x3")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("oversized atomic push: %v, want ErrQueueFull", err)
+	}
+	if err := q2.push("c", mk("x1"), mk("x2")); err != nil {
+		t.Fatalf("the rejected push left residue: %v", err)
+	}
+	if err := q2.push("d", mk("y1")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("push past capacity: %v, want ErrQueueFull", err)
+	}
+	if _, ok := q2.pop(); !ok {
+		t.Fatal("pop from a full queue failed")
+	}
+	if err := q2.push("d", mk("y1")); err != nil {
+		t.Fatalf("pop did not free capacity: %v", err)
+	}
+
+	q2.close()
+	if err := q2.push("d", mk("z1")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after close: %v, want ErrClosed", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := q2.pop(); !ok {
+			t.Fatalf("close dropped queued job %d before it drained", i)
+		}
+	}
+	if _, ok := q2.pop(); ok {
+		t.Fatal("pop after the backlog drained on a closed queue")
+	}
+}
+
+// TestFairShareAcrossClasses drives the class plumbing end-to-end: with
+// one executor slot held, a queued three-spec sweep and a later
+// interactive submission interleave round-robin — the interactive run
+// executes after the sweep's first member, not after its last.
+func TestFairShareAcrossClasses(t *testing.T) {
+	svc := newService(t, Config{Jobs: 1})
+	hold, err := svc.Submit(sim.Spec{
+		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 7300},
+		Backend:   "blocksim",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap, _ := svc.Get(hold.ID)
+		if snap.Status == StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("holding job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	oseed := func(seed uint64) sim.Spec {
+		return sim.Spec{
+			Synthetic: &sim.Synthetic{Pattern: "bsp", Ranks: 4, Bytes: 512, Phases: 2},
+			Backend:   "ordersim",
+			Seed:      seed,
+		}
+	}
+	orderMu.Lock()
+	start := len(orderSeen)
+	orderMu.Unlock()
+	batch, err := svc.SubmitSweep("", []sim.Spec{oseed(1), oseed(2), oseed(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interactive, err := svc.Submit(oseed(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockGate <- struct{}{}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := svc.WaitSweep(ctx, batch.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Wait(ctx, interactive.ID); err != nil {
+		t.Fatal(err)
+	}
+	orderMu.Lock()
+	got := append([]uint64(nil), orderSeen[start:]...)
+	orderMu.Unlock()
+	if want := []uint64{1, 100, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("execution order %v, want fair-share interleaving %v", got, want)
+	}
+}
+
+// TestSubmitSweepDedup: one sweep's duplicate specs collapse onto one run,
+// the whole batch is addressable by a content-derived id, and
+// re-submitting the identical sweep (same batch id) answers every member
+// from the cache without simulating.
+func TestSubmitSweepDedup(t *testing.T) {
+	svc := newService(t, Config{Jobs: 1})
+	specs := []sim.Spec{countSpec(7400), countSpec(7401), countSpec(7400)}
+	before := simCount.Load()
+
+	batch, err := svc.SubmitSweep("", specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Specs != 3 || batch.Total() != 2 {
+		t.Fatalf("3 specs with one duplicate admitted as %d specs / %d runs", batch.Specs, batch.Total())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	final, err := svc.WaitSweep(ctx, batch.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Done != 2 || final.Failed != 0 || !final.Terminal() {
+		t.Fatalf("finished sweep: %+v", final)
+	}
+	if got := simCount.Load() - before; got != 2 {
+		t.Fatalf("sweep ran %d simulations, want 2", got)
+	}
+
+	again, err := svc.SubmitSweep("", specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != batch.ID {
+		t.Fatalf("identical sweep re-derived batch id %s, want %s", again.ID, batch.ID)
+	}
+	if again.Cached != 2 || again.Done != 2 {
+		t.Fatalf("re-submitted sweep not served from cache: %+v", again)
+	}
+	if got := simCount.Load() - before; got != 2 {
+		t.Fatalf("re-submitted sweep simulated again (%d total)", got)
+	}
+	view, ok := svc.GetSweep(batch.ID)
+	if !ok || view.Done != 2 || view.Specs != 3 {
+		t.Fatalf("GetSweep: (%+v, %v)", view, ok)
+	}
+	if _, ok := svc.GetSweep("b_0000000000000000"); ok {
+		t.Fatal("unknown sweep id resolved")
+	}
+}
+
+// TestSubmitSweepQueueFullAtomic: a sweep that does not fit the admission
+// queue is rejected whole — no member run is admitted, so a retry is not
+// half-deduplicated against a phantom partial batch.
+func TestSubmitSweepQueueFullAtomic(t *testing.T) {
+	svc := newService(t, Config{Jobs: 1, Queue: 1})
+	hold, err := svc.Submit(sim.Spec{
+		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 7500},
+		Backend:   "blocksim",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap, _ := svc.Get(hold.ID)
+		if snap.Status == StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("holding job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	specs := []sim.Spec{countSpec(7501), countSpec(7502)}
+	if _, err := svc.SubmitSweep("", specs); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("two-spec sweep into a one-slot queue: %v, want ErrQueueFull", err)
+	}
+	for _, spec := range specs {
+		id, err := RunID(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := svc.Get(id); ok {
+			t.Fatalf("rejected sweep left member %s admitted", id)
+		}
+	}
+	batch, err := svc.SubmitSweep("", specs[:1])
+	if err != nil {
+		t.Fatalf("one-spec sweep after the rejection: %v", err)
+	}
+	blockGate <- struct{}{}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	final, err := svc.WaitSweep(ctx, batch.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Done != 1 {
+		t.Fatalf("retried sweep: %+v", final)
 	}
 }

@@ -1,0 +1,280 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"atlahs/sim"
+)
+
+// SweepSchema identifies the wire payload of POST /v1/sweeps: one JSON
+// object holding N atlahs.spec/v1 specs submitted as a unit.
+const SweepSchema = "atlahs.sweep/v1"
+
+// maxSweepSpecs bounds one batch — far above any experiments figure, far
+// below an admission-bookkeeping blowup.
+const maxSweepSpecs = 4096
+
+// batch is one submitted sweep: the unique runs behind its specs, in
+// first-appearance order. Holding *run pointers keeps the combined view
+// coherent even after the run cache evicts an entry.
+type batch struct {
+	id    string
+	specs int
+	runs  []*run
+}
+
+// BatchSnapshot is a point-in-time combined view of one sweep.
+type BatchSnapshot struct {
+	// ID is the sweep's content address: "b_" plus the leading 16 hex
+	// digits of the SHA-256 over its sorted member run ids — the same
+	// specs always form the same sweep.
+	ID string
+	// Specs counts the submitted specs; Runs holds one snapshot per
+	// unique fingerprint among them (duplicates collapse), in
+	// first-appearance order.
+	Specs int
+	Runs  []Snapshot
+	// Done, Failed and Cached count member runs by outcome; Cached is
+	// meaningful on submission snapshots only (like Snapshot.Cached).
+	Done, Failed, Cached int
+}
+
+// Total returns the number of unique runs in the sweep.
+func (b BatchSnapshot) Total() int { return len(b.Runs) }
+
+// Terminal reports whether every member run reached a terminal state.
+func (b BatchSnapshot) Terminal() bool { return b.Done+b.Failed == len(b.Runs) }
+
+// SubmitSweep admits one batch of specs as a unit: every spec is
+// fingerprinted, duplicates collapse — against each other and against the
+// content-addressed cache — and the remaining cold runs are enqueued
+// atomically (all or none, so a sweep is never half-admitted; a queue
+// without room for all of them fails with ErrQueueFull). The batch stays
+// addressable by its content-derived id for combined status and artifact
+// views. An empty class queues the sweep under its own per-batch fairness
+// class, so one giant sweep cannot starve interactive submissions.
+func (s *Service) SubmitSweep(class string, specs []sim.Spec) (BatchSnapshot, error) {
+	if len(specs) == 0 {
+		return BatchSnapshot{}, fmt.Errorf("service: a sweep needs at least one spec")
+	}
+	if len(specs) > maxSweepSpecs {
+		return BatchSnapshot{}, fmt.Errorf("service: sweep has %d specs, the limit is %d", len(specs), maxSweepSpecs)
+	}
+	// Phase 1, without the service lock: resolve every spec to its content
+	// address, collapsing duplicates as they surface. A spec that fails to
+	// resolve rejects the whole batch before anything is admitted.
+	type member struct {
+		id      string
+		lookKey string
+		pinned  sim.Spec
+		fp      string
+	}
+	var order []string
+	members := map[string]*member{}
+	for i := range specs {
+		spec := specs[i]
+		if spec.Observer != nil {
+			return BatchSnapshot{}, fmt.Errorf("service: sweep spec %d: specs may not carry an Observer; use Subscribe on the returned run ids", i)
+		}
+		lookKey := s.lookasideKey(spec)
+		if lookKey != "" {
+			// The fast path spares resolving workloads for specs the cache
+			// already knows by their wire bytes. Failed runs fall through to
+			// the full path, which retries them (as in Submit).
+			s.mu.Lock()
+			id, ok := s.lookaside[lookKey]
+			if ok {
+				r, exists := s.runs[id]
+				ok = exists && r.snapshot().Status != StatusFailed
+			}
+			s.mu.Unlock()
+			if ok {
+				if _, dup := members[id]; !dup {
+					members[id] = &member{id: id, lookKey: lookKey}
+					order = append(order, id)
+				}
+				continue
+			}
+		}
+		s.resolveSem <- struct{}{}
+		pinned, fp, err := sim.ResolveSpec(spec)
+		<-s.resolveSem
+		if err != nil {
+			return BatchSnapshot{}, fmt.Errorf("service: sweep spec %d: %w", i, err)
+		}
+		id := "r_" + fp[:16]
+		if _, dup := members[id]; !dup {
+			members[id] = &member{id: id, lookKey: lookKey, pinned: pinned, fp: fp}
+			order = append(order, id)
+		}
+	}
+	batchID := sweepID(order)
+	if class == "" {
+		class = "sweep:" + batchID
+	}
+	// Phase 2, one critical section: join existing runs, retry failed
+	// ones, and enqueue every cold member atomically.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return BatchSnapshot{}, ErrClosed
+	}
+	snap := BatchSnapshot{ID: batchID, Specs: len(specs)}
+	var cold []*run
+	var coldMembers []*member
+	runs := make([]*run, 0, len(order))
+	for _, id := range order {
+		m := members[id]
+		if r, ok := s.runs[id]; ok {
+			rs := r.snapshot()
+			if rs.Status != StatusFailed {
+				rs.Cached = true
+				snap.Runs = append(snap.Runs, rs)
+				runs = append(runs, r)
+				if m.lookKey != "" {
+					s.lookaside[m.lookKey] = id
+					r.lookKeys = append(r.lookKeys, m.lookKey)
+				}
+				continue
+			}
+			// A failure is not a result: drop and retry, as Submit does.
+			s.dropLocked(id)
+		}
+		if m.fp == "" {
+			// The member was admitted via the lookaside fast path but its
+			// run vanished in between (evicted, or failed and dropped).
+			// Fall back to a full resolve outside the next lock cycle is
+			// not worth the complexity — resolve here is impossible without
+			// the workload, so reject the race loudly; the client retries.
+			s.mu.Unlock()
+			return BatchSnapshot{}, fmt.Errorf("service: sweep member %s was evicted during admission; retry the sweep", id)
+		}
+		r := newRun(id, m.fp, m.pinned)
+		cold = append(cold, r)
+		coldMembers = append(coldMembers, m)
+		runs = append(runs, r)
+		snap.Runs = append(snap.Runs, r.snapshot())
+	}
+	if err := s.sched.push(class, cold...); err != nil {
+		s.mu.Unlock()
+		return BatchSnapshot{}, err
+	}
+	for i, r := range cold {
+		s.runs[r.id] = r
+		if key := coldMembers[i].lookKey; key != "" {
+			s.lookaside[key] = r.id
+			r.lookKeys = append(r.lookKeys, key)
+		}
+	}
+	s.noteBatchLocked(&batch{id: batchID, specs: len(specs), runs: runs})
+	s.mu.Unlock()
+	for _, rs := range snap.Runs {
+		switch {
+		case rs.Status == StatusDone:
+			snap.Done++
+		case rs.Status == StatusFailed:
+			snap.Failed++
+		}
+		if rs.Cached {
+			snap.Cached++
+		}
+	}
+	return snap, nil
+}
+
+// noteBatchLocked indexes a sweep and evicts the oldest past the bound
+// (the run-cache bound doubles as the batch bound). Re-submitting the
+// same sweep refreshes its entry instead of duplicating it. The caller
+// holds s.mu.
+func (s *Service) noteBatchLocked(b *batch) {
+	if _, ok := s.batches[b.id]; !ok {
+		s.batchOrder = append(s.batchOrder, b.id)
+	}
+	s.batches[b.id] = b
+	for len(s.batchOrder) > s.cfg.Cache {
+		evict := s.batchOrder[0]
+		s.batchOrder = s.batchOrder[1:]
+		delete(s.batches, evict)
+	}
+}
+
+// GetSweep returns the combined view of a submitted sweep. Run snapshots
+// carry their live status; Cached is false, as on Get.
+func (s *Service) GetSweep(id string) (BatchSnapshot, bool) {
+	s.mu.Lock()
+	b, ok := s.batches[id]
+	s.mu.Unlock()
+	if !ok {
+		return BatchSnapshot{}, false
+	}
+	return b.snapshot(), true
+}
+
+// WaitSweep blocks until every member run reaches a terminal state
+// (returning the final combined view) or ctx ends (returning ctx's
+// error). Like Wait, an already-terminal sweep returns even on a
+// cancelled context.
+func (s *Service) WaitSweep(ctx context.Context, id string) (BatchSnapshot, error) {
+	s.mu.Lock()
+	b, ok := s.batches[id]
+	s.mu.Unlock()
+	if !ok {
+		return BatchSnapshot{}, fmt.Errorf("service: unknown sweep %q", id)
+	}
+	for _, r := range b.runs {
+		select {
+		case <-r.done:
+			continue
+		default:
+		}
+		select {
+		case <-r.done:
+		case <-ctx.Done():
+			return BatchSnapshot{}, ctx.Err()
+		}
+	}
+	return b.snapshot(), nil
+}
+
+// sweepRuns returns the member runs of a sweep for the combined artifact
+// view, ok=false when the sweep is unknown.
+func (s *Service) sweepRuns(id string) ([]*run, bool) {
+	s.mu.Lock()
+	b, ok := s.batches[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return b.runs, true
+}
+
+// snapshot assembles the live combined view.
+func (b *batch) snapshot() BatchSnapshot {
+	snap := BatchSnapshot{ID: b.id, Specs: b.specs}
+	for _, r := range b.runs {
+		rs := r.snapshot()
+		switch rs.Status {
+		case StatusDone:
+			snap.Done++
+		case StatusFailed:
+			snap.Failed++
+		}
+		snap.Runs = append(snap.Runs, rs)
+	}
+	return snap
+}
+
+// sweepID derives a sweep's content address from its member run ids:
+// order-insensitive (the same set of specs is the same sweep) and stable
+// across processes.
+func sweepID(ids []string) string {
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	sum := sha256.Sum256([]byte(strings.Join(sorted, "\n")))
+	return "b_" + hex.EncodeToString(sum[:])[:16]
+}

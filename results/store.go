@@ -1,11 +1,13 @@
 package results
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Store is a directory of atlahs.results/v1 JSON artifacts addressed by
@@ -108,4 +110,98 @@ func (st *Store) Names() ([]string, error) {
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+// Entry describes one stored artifact, for consumers that need more than
+// the name — the simulation service orders its rebuilt run index by
+// ModTime, oldest first, so its cache bound evicts the stalest runs.
+type Entry struct {
+	Name    string
+	Size    int64
+	ModTime time.Time
+}
+
+// List returns one Entry per stored artifact, sorted by name. An artifact
+// that disappears between the directory scan and its stat (a concurrent
+// writer's rename) is skipped rather than erred on.
+func (st *Store) List() ([]Entry, error) {
+	names, err := st.Names()
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]Entry, 0, len(names))
+	for _, name := range names {
+		info, err := os.Stat(st.Path(name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, fmt.Errorf("results: listing store: %w", err)
+		}
+		entries = append(entries, Entry{Name: name, Size: info.Size(), ModTime: info.ModTime()})
+	}
+	return entries, nil
+}
+
+// metaDir is where per-artifact metadata sidecars live. A subdirectory
+// keeps them out of the *.json artifact namespace that Names, List and
+// CI's validateresults glob over.
+func (st *Store) metaDir() string { return filepath.Join(st.dir, "meta") }
+
+// MetaPath returns where the named artifact's metadata sidecar lives,
+// without checking that it exists.
+func (st *Store) MetaPath(name string) string {
+	return filepath.Join(st.metaDir(), name+".json")
+}
+
+// SaveMeta writes a small JSON metadata document next to (but outside the
+// namespace of) the named artifact, atomically. The sidecar is the
+// service's durable run index entry: whatever a consumer needs to trust a
+// stored artifact again after a restart without re-deriving it.
+func (st *Store) SaveMeta(name string, v any) error {
+	if err := st.checkName(name); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(st.metaDir(), 0o755); err != nil {
+		return fmt.Errorf("results: creating meta directory: %w", err)
+	}
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("results: encoding meta for %q: %w", name, err)
+	}
+	tmp, err := os.CreateTemp(st.metaDir(), "."+name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("results: saving meta for %q: %w", name, err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("results: saving meta for %q: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("results: saving meta for %q: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), st.MetaPath(name)); err != nil {
+		return fmt.Errorf("results: saving meta for %q: %w", name, err)
+	}
+	return nil
+}
+
+// LoadMeta reads the named artifact's metadata sidecar into v, rejecting
+// unknown fields so a corrupted or foreign document fails loudly instead
+// of decoding into a half-empty value.
+func (st *Store) LoadMeta(name string, v any) error {
+	if err := st.checkName(name); err != nil {
+		return err
+	}
+	b, err := os.ReadFile(st.MetaPath(name))
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("results: loading meta for %q: %w", name, err)
+	}
+	return nil
 }

@@ -95,6 +95,77 @@ func TestStoreNames(t *testing.T) {
 	}
 }
 
+// TestStoreList: List describes each artifact with its size, and skips
+// nothing Names would report.
+func TestStoreList(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"beta", "alpha"} {
+		if err := st.Save(storeSweep(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Name != "alpha" || entries[1].Name != "beta" {
+		t.Fatalf("List() = %+v, want alpha then beta", entries)
+	}
+	for _, e := range entries {
+		if e.Size <= 0 || e.ModTime.IsZero() {
+			t.Fatalf("entry %+v misses size or mtime", e)
+		}
+	}
+}
+
+// TestStoreMeta: metadata sidecars round-trip, live outside the artifact
+// namespace (Names and List never report them), and reject unknown fields
+// on load.
+func TestStoreMeta(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type doc struct {
+		Schema string `json:"schema"`
+		Count  int    `json:"count"`
+	}
+	if err := st.SaveMeta("run_one", doc{Schema: "test/v1", Count: 7}); err != nil {
+		t.Fatal(err)
+	}
+	var got doc
+	if err := st.LoadMeta("run_one", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != (doc{Schema: "test/v1", Count: 7}) {
+		t.Fatalf("meta round trip changed the document: %+v", got)
+	}
+	names, err := st.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("sidecars leaked into the artifact namespace: %v", names)
+	}
+	if err := st.SaveMeta("../escape", doc{}); err == nil {
+		t.Fatal("SaveMeta accepted a path-escaping name")
+	}
+	if err := st.LoadMeta("missing", &got); err == nil {
+		t.Fatal("LoadMeta of a missing sidecar succeeded")
+	}
+	// A document with fields the caller's type does not know must fail
+	// loudly, not decode half-empty.
+	if err := os.WriteFile(st.MetaPath("run_one"), []byte(`{"schema":"test/v1","count":1,"extra":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LoadMeta("run_one", &got); err == nil {
+		t.Fatal("LoadMeta decoded a document with unknown fields")
+	}
+}
+
 func TestStoreMissingLoad(t *testing.T) {
 	st, err := NewStore(t.TempDir())
 	if err != nil {
