@@ -56,7 +56,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"time"
 
 	"atlahs/internal/service"
 	"atlahs/sim"
@@ -249,7 +251,7 @@ func submit(baseURL string, spec sim.Spec, jsonOut bool) error {
 		return err
 	}
 	url := strings.TrimSuffix(baseURL, "/") + "/v1/runs?wait=1"
-	resp, err := http.Post(url, "application/json", bytes.NewReader(wire))
+	resp, err := postRetrying(url, wire)
 	if err != nil {
 		return err
 	}
@@ -291,6 +293,42 @@ func submit(baseURL string, spec sim.Spec, jsonOut bool) error {
 	}
 	fmt.Printf("run %s (cache %s)\nbackend %s: simulated runtime %s\n", run.ID, cacheStatus, res.Backend, res.Runtime)
 	return nil
+}
+
+// submitAttempts bounds postRetrying: the first POST plus up to three
+// retries. A queue that is still full after three honest Retry-After
+// waits is congested, not momentarily busy — give the caller the 503.
+const submitAttempts = 4
+
+// maxRetryAfter caps how long one Retry-After hint can make the client
+// sleep, so a misbehaving server cannot park it for an hour.
+const maxRetryAfter = 30 * time.Second
+
+// postRetrying POSTs body to url, honouring the service's backpressure
+// contract: a 503 carrying a valid integer Retry-After header (the
+// full-queue / closing-server response) is retried after that many
+// seconds, up to submitAttempts total attempts. Any other response — and
+// a 503 without a usable hint — is returned as-is for serverError to
+// render; transport errors are returned immediately.
+func postRetrying(url string, body []byte) (*http.Response, error) {
+	for attempt := 1; ; attempt++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || attempt == submitAttempts {
+			return resp, nil
+		}
+		seconds, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil || seconds < 0 {
+			return resp, nil
+		}
+		resp.Body.Close()
+		wait := min(time.Duration(seconds)*time.Second, maxRetryAfter)
+		fmt.Fprintf(os.Stderr, "server busy (503), retrying in %s (attempt %d of %d)\n",
+			wait, attempt+1, submitAttempts)
+		time.Sleep(wait)
+	}
 }
 
 // serverError maps a non-2xx service response onto one client-side error
@@ -347,7 +385,7 @@ func submitSweep(baseURL string, files []string, jsonOut bool) error {
 		return err
 	}
 	url := strings.TrimSuffix(baseURL, "/") + "/v1/sweeps?wait=1"
-	resp, err := http.Post(url, "application/json", bytes.NewReader(wire))
+	resp, err := postRetrying(url, wire)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPostRetryingHonorsRetryAfter(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	resp, err := postRetrying(ts.URL, []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("final status = %d, want 200 after retries", resp.StatusCode)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3 (two 503s then success)", got)
+	}
+}
+
+func TestPostRetryingGivesUpAfterBoundedAttempts(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	resp, err := postRetrying(ts.URL, []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("final status = %d, want the 503 surfaced", resp.StatusCode)
+	}
+	if got := hits.Load(); got != submitAttempts {
+		t.Errorf("server saw %d requests, want %d", got, submitAttempts)
+	}
+}
+
+func TestPostRetryingNoRetryWithoutUsableHint(t *testing.T) {
+	cases := map[string]func(http.Header){
+		"absent":      func(http.Header) {},
+		"non-integer": func(h http.Header) { h.Set("Retry-After", "soon") },
+		"negative":    func(h http.Header) { h.Set("Retry-After", "-1") },
+	}
+	for name, set := range cases {
+		t.Run(name, func(t *testing.T) {
+			var hits atomic.Int32
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				hits.Add(1)
+				set(w.Header())
+				http.Error(w, `{"error":"nope"}`, http.StatusServiceUnavailable)
+			}))
+			defer ts.Close()
+			resp, err := postRetrying(ts.URL, []byte("{}"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if got := hits.Load(); got != 1 {
+				t.Errorf("server saw %d requests, want 1 (no blind retries)", got)
+			}
+		})
+	}
+}
+
+func TestPostRetryingNon503Untouched(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "0") // must be ignored on a 400
+		http.Error(w, `{"error":"bad spec"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	resp, err := postRetrying(ts.URL, []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || hits.Load() != 1 {
+		t.Errorf("status = %d after %d requests, want one 400", resp.StatusCode, hits.Load())
+	}
+}

@@ -1,0 +1,152 @@
+package analyze
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+
+	"atlahs/results"
+)
+
+// Gate configures regression detection. Every gated metric in this
+// toolchain — simulated runtime, ns/op, executed-op cost — is a cost, so
+// the gates are one-sided: only increases can regress; improvements are
+// never flagged.
+type Gate struct {
+	// RelThreshold is the minimum relative worsening (B-A)/A to flag. 0
+	// flags any worsening; < 0 disables the relative gate.
+	RelThreshold float64
+	// MADK enables the robust gate for series: the last point regresses
+	// when it exceeds the median of the preceding points by more than
+	// MADK times their median absolute deviation. <= 0 disables it. When
+	// the history is perfectly stable (MAD zero — common for
+	// deterministic simulated runtimes), any worsening past the relative
+	// gate is significant.
+	MADK float64
+	// Metrics optionally restricts gating to column, derived and series
+	// names matching this pattern; nil gates every numeric metric.
+	Metrics *regexp.Regexp
+}
+
+// Regression is one flagged metric movement.
+type Regression struct {
+	// Metric is the regressed column, derived key or series metric.
+	Metric string `json:"metric"`
+	// Where locates it: a row's key cells or index for a diff field,
+	// "derived" for an aggregate, the last point's label for a series.
+	Where string `json:"where"`
+	// A is the baseline (cell in sweep A, or the history's median) and B
+	// the regressed observation; Rel is (B-A)/A.
+	A   float64 `json:"a"`
+	B   float64 `json:"b"`
+	Rel float64 `json:"rel"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("REGRESSION %s at %s: %v -> %v (%+.1f%%)", r.Metric, r.Where, r.A, r.B, 100*r.Rel)
+}
+
+// metricAllowed applies the optional name filter.
+func (g Gate) metricAllowed(name string) bool {
+	return g.Metrics == nil || g.Metrics.MatchString(name)
+}
+
+// relTrips reports whether a baseline→observation move trips the
+// relative gate. A zero or negative baseline never trips: the relative
+// move is undefined and sign conventions stop meaning "cost grew".
+func (g Gate) relTrips(a, b float64) bool {
+	if g.RelThreshold < 0 || a <= 0 || b <= a {
+		return false
+	}
+	return (b-a)/a >= g.RelThreshold
+}
+
+// Diff gates a sweep diff: every numeric field delta and derived delta
+// whose relative worsening passes the threshold is flagged, most severe
+// first. Fields with an undefined relative delta (zero baseline) are
+// reported in the diff but never gated — there is no meaningful
+// percentage to compare against the threshold.
+func (g Gate) Diff(d *results.SweepDiff) []Regression {
+	var regs []Regression
+	for _, row := range d.Rows {
+		where := FormatKey(row.Key)
+		if row.Key == nil {
+			where = fmt.Sprintf("row %d", row.Row)
+		}
+		for _, f := range row.Fields {
+			if f.Kind == results.String || f.Rel == nil || !g.metricAllowed(f.Column) {
+				continue
+			}
+			a, b := cellFloat(f.A), cellFloat(f.B)
+			if g.relTrips(a, b) {
+				regs = append(regs, Regression{Metric: f.Column, Where: where, A: a, B: b, Rel: *f.Rel})
+			}
+		}
+	}
+	for _, s := range d.Derived {
+		if s.Rel == nil || !g.metricAllowed(s.Key) {
+			continue
+		}
+		if g.relTrips(s.A, s.B) {
+			regs = append(regs, Regression{Metric: s.Key, Where: "derived", A: s.A, B: s.B, Rel: *s.Rel})
+		}
+	}
+	sort.SliceStable(regs, func(i, j int) bool { return regs[i].Rel > regs[j].Rel })
+	return regs
+}
+
+// Series gates trajectories: for each series with at least three points,
+// the last point is compared against the median of the preceding ones.
+// It regresses when it trips the relative gate AND — when the MAD gate
+// is enabled — exceeds median + MADK*MAD, so a noisy history needs a
+// statistically significant jump while a perfectly flat one (MAD zero)
+// falls back to the relative gate alone. Results sort most severe first.
+func (g Gate) Series(series []results.Series) []Regression {
+	var regs []Regression
+	for _, s := range series {
+		n := len(s.Points)
+		if n < 3 || !g.metricAllowed(s.Metric) {
+			continue
+		}
+		prior := make([]float64, n-1)
+		for i, p := range s.Points[:n-1] {
+			prior[i] = p.Value
+		}
+		med := median(prior)
+		last := s.Points[n-1].Value
+		if !g.relTrips(med, last) {
+			continue
+		}
+		if g.MADK > 0 {
+			dev := make([]float64, len(prior))
+			for i, v := range prior {
+				dev[i] = math.Abs(v - med)
+			}
+			if mad := median(dev); last <= med+g.MADK*mad {
+				continue
+			}
+		}
+		regs = append(regs, Regression{
+			Metric: s.Metric,
+			Where:  s.Points[n-1].Label,
+			A:      med,
+			B:      last,
+			Rel:    (last - med) / med,
+		})
+	}
+	sort.SliceStable(regs, func(i, j int) bool { return regs[i].Rel > regs[j].Rel })
+	return regs
+}
+
+// median returns the middle value (mean of the middle two for even
+// counts) of an unsorted, non-empty slice; it does not mutate its input.
+func median(vs []float64) float64 {
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}

@@ -1,0 +1,151 @@
+package analyze
+
+import (
+	"regexp"
+	"testing"
+
+	"atlahs/results"
+)
+
+func diffFor(t *testing.T, measuredA, measuredB []int64) *results.SweepDiff {
+	t.Helper()
+	d, err := Diff(pairSweep(t, "a", measuredA), pairSweep(t, "b", measuredB),
+		DiffOptions{Keys: []string{"configuration"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGateDiffFlagsOnlyPastThreshold(t *testing.T) {
+	// cfg_a +5%, cfg_b +20%, cfg_c improves; derived total_ps +2.5%.
+	d := diffFor(t, []int64{100, 200, 300}, []int64{105, 240, 270})
+	regs := Gate{RelThreshold: 0.1}.Diff(d)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly one (cfg_b measured +20%%)", regs)
+	}
+	r := regs[0]
+	if r.Metric != "measured" || r.Where != "configuration=cfg_b" || r.A != 200 || r.B != 240 || r.Rel != 0.2 {
+		t.Errorf("regression = %+v", r)
+	}
+	if got := r.String(); got != "REGRESSION measured at configuration=cfg_b: 200 -> 240 (+20.0%)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestGateDiffZeroThresholdFlagsAnyWorsening(t *testing.T) {
+	d := diffFor(t, []int64{100, 200, 300}, []int64{101, 200, 300})
+	regs := Gate{RelThreshold: 0}.Diff(d)
+	// cfg_a measured +1% and total_ps +0.17% both worsen.
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want cfg_a measured and derived total_ps", regs)
+	}
+	if regs[0].Metric != "measured" || regs[1].Metric != "total_ps" || regs[1].Where != "derived" {
+		t.Errorf("regressions = %+v, want measured first (larger Rel), then total_ps", regs)
+	}
+}
+
+func TestGateDiffNegativeThresholdDisabled(t *testing.T) {
+	d := diffFor(t, []int64{100, 200, 300}, []int64{500, 600, 700})
+	if regs := (Gate{RelThreshold: -1}).Diff(d); len(regs) != 0 {
+		t.Errorf("disabled gate flagged %+v", regs)
+	}
+}
+
+func TestGateDiffImprovementsNotFlagged(t *testing.T) {
+	d := diffFor(t, []int64{100, 200, 300}, []int64{50, 100, 150})
+	if regs := (Gate{RelThreshold: 0}).Diff(d); len(regs) != 0 {
+		t.Errorf("improvements flagged as regressions: %+v", regs)
+	}
+}
+
+func TestGateDiffMetricFilter(t *testing.T) {
+	d := diffFor(t, []int64{100, 200, 300}, []int64{200, 400, 600})
+	regs := Gate{RelThreshold: 0.1, Metrics: regexp.MustCompile(`^total_`)}.Diff(d)
+	if len(regs) != 1 || regs[0].Metric != "total_ps" {
+		t.Errorf("filtered regressions = %+v, want only total_ps", regs)
+	}
+}
+
+func TestGateDiffSkipsZeroBaseline(t *testing.T) {
+	a := results.NewSweep("a", "A", "test")
+	a.AddColumn("v", results.Float, "")
+	a.MustAddRow(0.0)
+	a.SetDerived("agg", 0)
+	b := results.NewSweep("b", "B", "test")
+	b.AddColumn("v", results.Float, "")
+	b.MustAddRow(9.0)
+	b.SetDerived("agg", 9)
+	d, err := Diff(a, b, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := (Gate{RelThreshold: 0}).Diff(d); len(regs) != 0 {
+		t.Errorf("zero-baseline fields gated: %+v", regs)
+	}
+}
+
+func oneSeries(vals ...float64) []results.Series {
+	s := results.Series{Metric: "runtime_ps", Unit: "ps"}
+	for i, v := range vals {
+		s.Points = append(s.Points, results.Point{Label: label(i), Value: v})
+	}
+	return []results.Series{s}
+}
+
+func label(i int) string {
+	return string(rune('a' + i))
+}
+
+func TestGateSeriesFlatHistory(t *testing.T) {
+	// Deterministic history: MAD is zero, rel gate alone decides.
+	regs := Gate{RelThreshold: 0.1, MADK: 3}.Series(oneSeries(100, 100, 100, 100, 125))
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want one", regs)
+	}
+	r := regs[0]
+	if r.Metric != "runtime_ps" || r.Where != "e" || r.A != 100 || r.B != 125 || r.Rel != 0.25 {
+		t.Errorf("regression = %+v", r)
+	}
+}
+
+func TestGateSeriesNoisyHistoryNeedsMAD(t *testing.T) {
+	// Median of prior {100,90,110,95,105} = 100, MAD = 5. Last = 112:
+	// +12% trips rel(0.1) but 112 <= 100 + 3*5 = 115, so MAD absorbs it.
+	g := Gate{RelThreshold: 0.1, MADK: 3}
+	if regs := g.Series(oneSeries(100, 90, 110, 95, 105, 112)); len(regs) != 0 {
+		t.Errorf("within-noise jump flagged: %+v", regs)
+	}
+	// Last = 120 clears both gates.
+	regs := g.Series(oneSeries(100, 90, 110, 95, 105, 120))
+	if len(regs) != 1 || regs[0].A != 100 || regs[0].B != 120 {
+		t.Errorf("regressions = %+v, want median 100 -> 120", regs)
+	}
+}
+
+func TestGateSeriesTooShort(t *testing.T) {
+	if regs := (Gate{RelThreshold: 0}).Series(oneSeries(100, 200)); len(regs) != 0 {
+		t.Errorf("two-point series gated: %+v", regs)
+	}
+}
+
+func TestGateSeriesMetricFilter(t *testing.T) {
+	g := Gate{RelThreshold: 0, Metrics: regexp.MustCompile(`^ops$`)}
+	if regs := g.Series(oneSeries(100, 100, 200)); len(regs) != 0 {
+		t.Errorf("filtered-out series gated: %+v", regs)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("median odd = %v, want 2", got)
+	}
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("median even = %v, want 2.5", got)
+	}
+	in := []float64{3, 1, 2}
+	median(in)
+	if in[0] != 3 {
+		t.Error("median mutated its input")
+	}
+}

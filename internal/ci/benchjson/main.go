@@ -15,6 +15,13 @@
 // suffix from a sub-benchmark name ending in "-N" (go omits it entirely
 // when GOMAXPROCS is 1). Zero parsed benchmarks is an error: it means the
 // bench run or the pipe broke, not that performance is fine.
+//
+// -require takes a comma-separated list of benchmark function names and
+// demands that every one produced at least one result line — either the
+// bare name or the name followed by a "/sub" case or "-N" suffix. Partial
+// output (a benchmark silently skipped, renamed or crashed mid-run while
+// earlier ones printed fine) then fails the pipeline instead of quietly
+// shrinking the tracked trajectory.
 package main
 
 import (
@@ -26,7 +33,9 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 )
 
 // benchLineRE matches one benchmark result line: name, iteration count,
@@ -42,9 +51,14 @@ type report struct {
 
 func main() {
 	out := flag.String("out", "", "output path (default stdout)")
+	require := flag.String("require", "", "comma-separated benchmark names that must each appear in the output")
 	flag.Parse()
 	rep, err := parse(os.Stdin)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := checkRequired(rep, *require); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -99,4 +113,38 @@ func parse(r io.Reader) (*report, error) {
 		return nil, fmt.Errorf("benchjson: no benchmark result lines on stdin (did the bench run fail?)")
 	}
 	return rep, nil
+}
+
+// checkRequired verifies every -require name is represented in the
+// parsed report. A recorded name counts toward a required one when it is
+// the name itself or the name followed by a '/' sub-case or '-' suffix
+// (the GOMAXPROCS decoration), so "BenchmarkX" accepts "BenchmarkX-8"
+// and "BenchmarkX/case-8" but not "BenchmarkXL".
+func checkRequired(rep *report, require string) error {
+	if require == "" {
+		return nil
+	}
+	var missing []string
+	for _, want := range strings.Split(require, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		found := false
+		for name := range rep.Benchmarks {
+			if name == want ||
+				(strings.HasPrefix(name, want) && (name[len(want)] == '/' || name[len(want)] == '-')) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("benchjson: required benchmark(s) missing from output: %s (partial bench run?)", strings.Join(missing, ", "))
+	}
+	return nil
 }

@@ -51,3 +51,52 @@ func TestParseRejectsDuplicateNames(t *testing.T) {
 		t.Fatal("expected an error for a benchmark name appearing twice")
 	}
 }
+
+func TestCheckRequired(t *testing.T) {
+	rep := &report{Benchmarks: map[string]float64{
+		"BenchmarkParEngineVsSerial/bsp-128x6/serial-8": 1,
+		"BenchmarkServiceColdVsCacheHit-8":              2,
+		"BenchmarkBare":                                 3,
+	}}
+	ok := []string{
+		"", // no requirement
+		"BenchmarkParEngineVsSerial",
+		"BenchmarkServiceColdVsCacheHit",
+		"BenchmarkBare",
+		"BenchmarkParEngineVsSerial, BenchmarkBare", // spaces tolerated
+		",BenchmarkBare,", // empty elements ignored
+	}
+	for _, req := range ok {
+		if err := checkRequired(rep, req); err != nil {
+			t.Errorf("checkRequired(%q) = %v, want nil", req, err)
+		}
+	}
+	bad := []string{
+		"BenchmarkExperimentSweepVsSerial",               // absent entirely
+		"BenchmarkBar",                                   // prefix of BenchmarkBare, not a match
+		"BenchmarkParEngineVsSerial,BenchmarkGoneWrong",  // one present, one missing
+		"BenchmarkServiceColdVsCacheHit-16",              // wrong GOMAXPROCS decoration
+		"BenchmarkParEngineVsSerial/bsp-128x6/serial-88", // suffix extends past the real name
+	}
+	for _, req := range bad {
+		if err := checkRequired(rep, req); err == nil {
+			t.Errorf("checkRequired(%q) = nil, want missing-benchmark error", req)
+		}
+	}
+}
+
+func TestCheckRequiredNamesTheMissing(t *testing.T) {
+	rep := &report{Benchmarks: map[string]float64{"BenchmarkX-8": 1}}
+	err := checkRequired(rep, "BenchmarkZed,BenchmarkX,BenchmarkAbsent")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, name := range []string{"BenchmarkZed", "BenchmarkAbsent"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not name %s", err, name)
+		}
+	}
+	if strings.Contains(err.Error(), "BenchmarkX,") || strings.Contains(err.Error(), "BenchmarkX ") {
+		t.Errorf("error %q names the present benchmark", err)
+	}
+}

@@ -28,6 +28,10 @@ import (
 //	                         ?wait=1 blocks until every run finishes
 //	GET  /v1/sweeps/{id}             combined status of a batch
 //	GET  /v1/sweeps/{id}/artifact    combined per-run artifact view
+//	GET  /v1/history             per-metric trajectories over completed
+//	                             runs (atlahs.history/v1; ?format=html)
+//	GET  /v1/analyze/diff        field-by-field diff of two runs'
+//	                             artifacts (?a=RUN&b=RUN; see analyze.go)
 //	GET  /v1/healthz             liveness probe
 //
 // Every /v1/runs and /v1/sweeps response carries a Cache-Status header:
@@ -106,6 +110,8 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("POST /v1/sweeps", svc.handleSweepSubmit)
 	mux.HandleFunc("GET /v1/sweeps/{id}", svc.handleSweepGet)
 	mux.HandleFunc("GET /v1/sweeps/{id}/artifact", svc.handleSweepArtifact)
+	mux.HandleFunc("GET /v1/history", svc.handleHistory)
+	mux.HandleFunc("GET /v1/analyze/diff", svc.handleAnalyzeDiff)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		svc.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})

@@ -1,0 +1,468 @@
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// DiffSchema identifies the sweep-comparison document this package reads
+// and writes. Like the results schema it is append-only: released field
+// names and meanings never change (see the package documentation).
+const DiffSchema = "atlahs.diff/v1"
+
+// SweepDiff is the field-by-field comparison of two atlahs.results/v1
+// sweeps — the document behind `atlahs-analyze diff` and the service's
+// GET /v1/analyze/diff. It is sparse: only changed rows, params and
+// derived values are recorded, so two identical sweeps diff to a document
+// with no rows and Changed == 0.
+type SweepDiff struct {
+	// A and B name the compared sweeps (Sweep.Name), in that order; every
+	// delta is B relative to A ("how did B move away from A").
+	A string
+	B string
+	// Keys are the columns rows were matched on, carried with their kinds
+	// so key cells survive the JSON round trip. Empty means positional
+	// matching: row i of A against row i of B.
+	Keys []Column
+	// RowsA and RowsB are the compared sweeps' row counts; Matched is how
+	// many rows paired up, and Changed is how many of those differ in at
+	// least one shared field (== len(Rows)).
+	RowsA   int
+	RowsB   int
+	Matched int
+	Changed int
+	// ColumnsOnlyA and ColumnsOnlyB list columns present in only one
+	// sweep; their cells are not comparable and appear in no FieldDelta.
+	ColumnsOnlyA []string
+	ColumnsOnlyB []string
+	// RowsOnlyA and RowsOnlyB reference rows with no partner in the other
+	// sweep.
+	RowsOnlyA []RowRef
+	RowsOnlyB []RowRef
+	// Rows are the matched rows that changed, in A's row order.
+	Rows []RowDiff
+	// Params are the experiment-level inputs whose values differ (missing
+	// on one side reads as the empty string), sorted by key.
+	Params []ParamDelta
+	// Derived are the cross-row aggregates present in both sweeps with
+	// different values, sorted by key; DerivedOnlyA/B list aggregates
+	// present on one side only.
+	Derived      []ScalarDelta
+	DerivedOnlyA []string
+	DerivedOnlyB []string
+}
+
+// RowRef identifies one unmatched row: its index in its own sweep, plus
+// its key cells when key columns were used.
+type RowRef struct {
+	Row int
+	Key map[string]any
+}
+
+// RowDiff is one matched row that changed: its index in sweep A, its key
+// cells (nil under positional matching), and one FieldDelta per shared
+// field whose cells differ.
+type RowDiff struct {
+	Row    int
+	Key    map[string]any
+	Fields []FieldDelta
+}
+
+// FieldDelta is one changed cell: the column it belongs to, both
+// canonical cell values, and — for numeric kinds — the absolute delta
+// B-A and the relative delta (B-A)/|A|. Rel is nil when A is zero (the
+// relative move is undefined) and for string cells.
+type FieldDelta struct {
+	Column string
+	Kind   Kind
+	Unit   string
+	A      any
+	B      any
+	Abs    *float64
+	Rel    *float64
+}
+
+// ScalarDelta is one changed derived aggregate.
+type ScalarDelta struct {
+	Key string   `json:"key"`
+	A   float64  `json:"a"`
+	B   float64  `json:"b"`
+	Abs float64  `json:"abs"`
+	Rel *float64 `json:"rel,omitempty"`
+}
+
+// ParamDelta is one changed experiment-level input; a side that lacks the
+// param reads as the empty string.
+type ParamDelta struct {
+	Key string `json:"key"`
+	A   string `json:"a"`
+	B   string `json:"b"`
+}
+
+// The wire forms. Cells are encoded exactly like sweep rows — strings as
+// JSON strings, int and duration cells as integral numbers, floats as
+// finite numbers — and decoded back through the same kind-aware
+// conversion, so DecodeDiffJSON(EncodeDiffJSON(d)) reproduces d.
+type jsonDiff struct {
+	Schema       string        `json:"schema"`
+	A            string        `json:"a"`
+	B            string        `json:"b"`
+	Keys         []Column      `json:"keys,omitempty"`
+	RowsA        int           `json:"rows_a"`
+	RowsB        int           `json:"rows_b"`
+	Matched      int           `json:"matched"`
+	Changed      int           `json:"changed"`
+	ColumnsOnlyA []string      `json:"columns_only_a,omitempty"`
+	ColumnsOnlyB []string      `json:"columns_only_b,omitempty"`
+	RowsOnlyA    []jsonRowRef  `json:"rows_only_a,omitempty"`
+	RowsOnlyB    []jsonRowRef  `json:"rows_only_b,omitempty"`
+	Rows         []jsonRowDiff `json:"rows,omitempty"`
+	Params       []ParamDelta  `json:"params,omitempty"`
+	Derived      []ScalarDelta `json:"derived,omitempty"`
+	DerivedOnlyA []string      `json:"derived_only_a,omitempty"`
+	DerivedOnlyB []string      `json:"derived_only_b,omitempty"`
+}
+
+type jsonRowRef struct {
+	Row int            `json:"row"`
+	Key map[string]any `json:"key,omitempty"`
+}
+
+type jsonRowDiff struct {
+	Row    int              `json:"row"`
+	Key    map[string]any   `json:"key,omitempty"`
+	Fields []jsonFieldDelta `json:"fields"`
+}
+
+type jsonFieldDelta struct {
+	Column string   `json:"column"`
+	Kind   Kind     `json:"kind"`
+	Unit   string   `json:"unit,omitempty"`
+	A      any      `json:"a"`
+	B      any      `json:"b"`
+	Abs    *float64 `json:"abs,omitempty"`
+	Rel    *float64 `json:"rel,omitempty"`
+}
+
+// EncodeDiffJSON validates d and writes it as one indented JSON object
+// followed by a newline.
+func EncodeDiffJSON(w io.Writer, d *SweepDiff) error {
+	b, err := MarshalDiff(d)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// MarshalDiff validates d and renders it to indented JSON.
+func MarshalDiff(d *SweepDiff) ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	jd := jsonDiff{
+		Schema:       DiffSchema,
+		A:            d.A,
+		B:            d.B,
+		Keys:         d.Keys,
+		RowsA:        d.RowsA,
+		RowsB:        d.RowsB,
+		Matched:      d.Matched,
+		Changed:      d.Changed,
+		ColumnsOnlyA: d.ColumnsOnlyA,
+		ColumnsOnlyB: d.ColumnsOnlyB,
+		Params:       d.Params,
+		Derived:      d.Derived,
+		DerivedOnlyA: d.DerivedOnlyA,
+		DerivedOnlyB: d.DerivedOnlyB,
+	}
+	for _, ref := range d.RowsOnlyA {
+		jd.RowsOnlyA = append(jd.RowsOnlyA, jsonRowRef(ref))
+	}
+	for _, ref := range d.RowsOnlyB {
+		jd.RowsOnlyB = append(jd.RowsOnlyB, jsonRowRef(ref))
+	}
+	for _, row := range d.Rows {
+		jr := jsonRowDiff{Row: row.Row, Key: row.Key}
+		for _, f := range row.Fields {
+			jr.Fields = append(jr.Fields, jsonFieldDelta(f))
+		}
+		jd.Rows = append(jd.Rows, jr)
+	}
+	return json.MarshalIndent(jd, "", "  ")
+}
+
+// DecodeDiffJSON reads one SweepDiff written by EncodeDiffJSON, rejecting
+// unknown schema versions and cells of the wrong type. The returned diff
+// is validated and compares equal (DeepEqual) to the encoded one.
+func DecodeDiffJSON(r io.Reader) (*SweepDiff, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var jd jsonDiff
+	if err := dec.Decode(&jd); err != nil {
+		return nil, fmt.Errorf("results: decoding JSON diff: %w", err)
+	}
+	if jd.Schema != DiffSchema {
+		return nil, fmt.Errorf("results: unknown schema %q (want %q)", jd.Schema, DiffSchema)
+	}
+	d := &SweepDiff{
+		A:            jd.A,
+		B:            jd.B,
+		Keys:         jd.Keys,
+		RowsA:        jd.RowsA,
+		RowsB:        jd.RowsB,
+		Matched:      jd.Matched,
+		Changed:      jd.Changed,
+		ColumnsOnlyA: jd.ColumnsOnlyA,
+		ColumnsOnlyB: jd.ColumnsOnlyB,
+		Params:       jd.Params,
+		Derived:      jd.Derived,
+		DerivedOnlyA: jd.DerivedOnlyA,
+		DerivedOnlyB: jd.DerivedOnlyB,
+	}
+	for _, ref := range jd.RowsOnlyA {
+		key, err := keyFromJSON(d.Keys, ref.Key)
+		if err != nil {
+			return nil, fmt.Errorf("results: diff %s vs %s: rows_only_a row %d: %w", d.A, d.B, ref.Row, err)
+		}
+		d.RowsOnlyA = append(d.RowsOnlyA, RowRef{Row: ref.Row, Key: key})
+	}
+	for _, ref := range jd.RowsOnlyB {
+		key, err := keyFromJSON(d.Keys, ref.Key)
+		if err != nil {
+			return nil, fmt.Errorf("results: diff %s vs %s: rows_only_b row %d: %w", d.A, d.B, ref.Row, err)
+		}
+		d.RowsOnlyB = append(d.RowsOnlyB, RowRef{Row: ref.Row, Key: key})
+	}
+	for _, jr := range jd.Rows {
+		key, err := keyFromJSON(d.Keys, jr.Key)
+		if err != nil {
+			return nil, fmt.Errorf("results: diff %s vs %s: row %d: %w", d.A, d.B, jr.Row, err)
+		}
+		row := RowDiff{Row: jr.Row, Key: key}
+		for _, jf := range jr.Fields {
+			f := FieldDelta(jf)
+			col := Column{Name: f.Column, Kind: f.Kind, Unit: f.Unit}
+			if f.A, err = cellFromJSON(col, jf.A); err != nil {
+				return nil, fmt.Errorf("results: diff %s vs %s: row %d: side a: %w", d.A, d.B, jr.Row, err)
+			}
+			if f.B, err = cellFromJSON(col, jf.B); err != nil {
+				return nil, fmt.Errorf("results: diff %s vs %s: row %d: side b: %w", d.A, d.B, jr.Row, err)
+			}
+			row.Fields = append(row.Fields, f)
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// keyFromJSON converts a decoded key-cell map to canonical cell types
+// using the diff's key columns.
+func keyFromJSON(keys []Column, raw map[string]any) (map[string]any, error) {
+	if raw == nil {
+		return nil, nil
+	}
+	key := make(map[string]any, len(raw))
+	for _, c := range keys {
+		v, ok := raw[c.Name]
+		if !ok {
+			return nil, fmt.Errorf("key misses column %q", c.Name)
+		}
+		cell, err := cellFromJSON(c, v)
+		if err != nil {
+			return nil, err
+		}
+		key[c.Name] = cell
+	}
+	if len(key) != len(raw) {
+		return nil, fmt.Errorf("key has %d cells, diff has %d key columns", len(raw), len(keys))
+	}
+	return key, nil
+}
+
+// Validate checks the diff against the schema contract: snake_case names,
+// valid column kinds, canonical finite cell values, deltas consistent
+// with their cells, and bookkeeping counts that add up. Both the encoder
+// and the decoder validate, mirroring the sweep codec.
+func (d *SweepDiff) Validate() error {
+	for _, name := range []string{d.A, d.B} {
+		if !nameRE.MatchString(name) {
+			return fmt.Errorf("results: diff sweep name %q is not a snake_case identifier", name)
+		}
+	}
+	keyCols := map[string]Column{}
+	for _, c := range d.Keys {
+		if !nameRE.MatchString(c.Name) {
+			return fmt.Errorf("results: diff %s vs %s: key column %q is not a snake_case identifier", d.A, d.B, c.Name)
+		}
+		if !c.Kind.valid() {
+			return fmt.Errorf("results: diff %s vs %s: key column %q has unknown kind %q", d.A, d.B, c.Name, c.Kind)
+		}
+		if _, dup := keyCols[c.Name]; dup {
+			return fmt.Errorf("results: diff %s vs %s: duplicate key column %q", d.A, d.B, c.Name)
+		}
+		keyCols[c.Name] = c
+	}
+	if d.RowsA < 0 || d.RowsB < 0 || d.Matched < 0 {
+		return fmt.Errorf("results: diff %s vs %s: negative row counts", d.A, d.B)
+	}
+	if d.Matched > d.RowsA || d.Matched > d.RowsB {
+		return fmt.Errorf("results: diff %s vs %s: matched %d exceeds row counts %d/%d", d.A, d.B, d.Matched, d.RowsA, d.RowsB)
+	}
+	if len(d.RowsOnlyA) != d.RowsA-d.Matched || len(d.RowsOnlyB) != d.RowsB-d.Matched {
+		return fmt.Errorf("results: diff %s vs %s: unmatched row lists disagree with counts", d.A, d.B)
+	}
+	if d.Changed != len(d.Rows) {
+		return fmt.Errorf("results: diff %s vs %s: changed %d but %d row diffs", d.A, d.B, d.Changed, len(d.Rows))
+	}
+	for _, names := range [][]string{d.ColumnsOnlyA, d.ColumnsOnlyB, d.DerivedOnlyA, d.DerivedOnlyB} {
+		for _, name := range names {
+			if !nameRE.MatchString(name) {
+				return fmt.Errorf("results: diff %s vs %s: name %q is not a snake_case identifier", d.A, d.B, name)
+			}
+		}
+	}
+	for _, ref := range append(append([]RowRef(nil), d.RowsOnlyA...), d.RowsOnlyB...) {
+		if err := d.validateKey(ref.Key); err != nil {
+			return fmt.Errorf("results: diff %s vs %s: unmatched row %d: %w", d.A, d.B, ref.Row, err)
+		}
+	}
+	for _, row := range d.Rows {
+		if row.Row < 0 {
+			return fmt.Errorf("results: diff %s vs %s: negative row index", d.A, d.B)
+		}
+		if err := d.validateKey(row.Key); err != nil {
+			return fmt.Errorf("results: diff %s vs %s: row %d: %w", d.A, d.B, row.Row, err)
+		}
+		if len(row.Fields) == 0 {
+			return fmt.Errorf("results: diff %s vs %s: row %d diff has no changed fields", d.A, d.B, row.Row)
+		}
+		for _, f := range row.Fields {
+			if err := f.validate(); err != nil {
+				return fmt.Errorf("results: diff %s vs %s: row %d: %w", d.A, d.B, row.Row, err)
+			}
+		}
+	}
+	for _, p := range d.Params {
+		if !nameRE.MatchString(p.Key) {
+			return fmt.Errorf("results: diff %s vs %s: param key %q is not a snake_case identifier", d.A, d.B, p.Key)
+		}
+	}
+	for _, s := range d.Derived {
+		if !nameRE.MatchString(s.Key) {
+			return fmt.Errorf("results: diff %s vs %s: derived key %q is not a snake_case identifier", d.A, d.B, s.Key)
+		}
+		for _, v := range []float64{s.A, s.B, s.Abs} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("results: diff %s vs %s: derived %q delta is %v", d.A, d.B, s.Key, v)
+			}
+		}
+		if s.Rel != nil && (math.IsNaN(*s.Rel) || math.IsInf(*s.Rel, 0)) {
+			return fmt.Errorf("results: diff %s vs %s: derived %q relative delta is %v", d.A, d.B, s.Key, *s.Rel)
+		}
+		if (s.Rel == nil) != (s.A == 0) {
+			return fmt.Errorf("results: diff %s vs %s: derived %q relative delta must be present exactly when the baseline is non-zero", d.A, d.B, s.Key)
+		}
+	}
+	return nil
+}
+
+// validateKey checks one row's key cells against the diff's key columns.
+func (d *SweepDiff) validateKey(key map[string]any) error {
+	if len(d.Keys) == 0 {
+		if key != nil {
+			return fmt.Errorf("key cells present under positional matching")
+		}
+		return nil
+	}
+	if len(key) != len(d.Keys) {
+		return fmt.Errorf("key has %d cells, diff has %d key columns", len(key), len(d.Keys))
+	}
+	for _, c := range d.Keys {
+		v, ok := key[c.Name]
+		if !ok {
+			return fmt.Errorf("key misses column %q", c.Name)
+		}
+		if err := checkCell(c, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validate checks one field delta's internal consistency.
+func (f *FieldDelta) validate() error {
+	if !nameRE.MatchString(f.Column) {
+		return fmt.Errorf("column %q is not a snake_case identifier", f.Column)
+	}
+	if !f.Kind.valid() {
+		return fmt.Errorf("column %q has unknown kind %q", f.Column, f.Kind)
+	}
+	col := Column{Name: f.Column, Kind: f.Kind, Unit: f.Unit}
+	if err := checkCell(col, f.A); err != nil {
+		return fmt.Errorf("side a: %w", err)
+	}
+	if err := checkCell(col, f.B); err != nil {
+		return fmt.Errorf("side b: %w", err)
+	}
+	if f.A == f.B {
+		return fmt.Errorf("column %q delta records equal cells %v", f.Column, f.A)
+	}
+	if f.Kind == String {
+		if f.Abs != nil || f.Rel != nil {
+			return fmt.Errorf("column %q: string delta carries numeric deltas", f.Column)
+		}
+		return nil
+	}
+	a, b := cellFloat(f.A), cellFloat(f.B)
+	if f.Abs == nil || *f.Abs != b-a {
+		return fmt.Errorf("column %q: absolute delta disagrees with cells", f.Column)
+	}
+	if (f.Rel == nil) != (a == 0) {
+		return fmt.Errorf("column %q: relative delta must be present exactly when the baseline is non-zero", f.Column)
+	}
+	if f.Rel != nil && (math.IsNaN(*f.Rel) || math.IsInf(*f.Rel, 0)) {
+		return fmt.Errorf("column %q: relative delta is %v", f.Column, *f.Rel)
+	}
+	return nil
+}
+
+// checkCell verifies one canonical cell value against its column, the
+// same contract Sweep.Validate enforces on rows.
+func checkCell(c Column, cell any) error {
+	switch c.Kind {
+	case String:
+		if _, ok := cell.(string); !ok {
+			return fmt.Errorf("column %q: %T is not a string", c.Name, cell)
+		}
+	case Int, Duration:
+		if _, ok := cell.(int64); !ok {
+			return fmt.Errorf("column %q: %T is not an int64", c.Name, cell)
+		}
+	case Float:
+		v, ok := cell.(float64)
+		if !ok {
+			return fmt.Errorf("column %q: %T is not a float64", c.Name, cell)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("column %q is %v", c.Name, v)
+		}
+	}
+	return nil
+}
+
+// cellFloat widens a canonical numeric cell to float64.
+func cellFloat(cell any) float64 {
+	switch v := cell.(type) {
+	case int64:
+		return float64(v)
+	case float64:
+		return v
+	}
+	return math.NaN()
+}

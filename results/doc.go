@@ -50,6 +50,43 @@
 // cells format as raw strings, decimal int64, or shortest-round-trip
 // floats (strconv 'g', precision -1).
 //
+// # Diff schema (atlahs.diff/v1)
+//
+// A SweepDiff is the field-by-field comparison of two sweeps, the
+// document behind `atlahs-analyze diff` and the service's
+// GET /v1/analyze/diff. EncodeDiffJSON writes one SweepDiff as a single
+// JSON object:
+//
+//	{
+//	  "schema":  "atlahs.diff/v1",
+//	  "a": "fig8", "b": "fig8",            // the compared sweeps' names
+//	  "keys":    [{"name": "configuration", "kind": "string"}],
+//	  "rows_a": 4, "rows_b": 4, "matched": 4, "changed": 1,
+//	  "columns_only_a": [...], "columns_only_b": [...],   // optional
+//	  "rows_only_a": [{"row": 3, "key": {...}}],          // optional
+//	  "rows": [{"row": 0, "key": {"configuration": "llama7b"},
+//	            "fields": [{"column": "measured", "kind": "duration",
+//	                        "unit": "ps", "a": 100, "b": 120,
+//	                        "abs": 20, "rel": 0.2}]}],
+//	  "params":  [{"key": "mode", "a": "quick", "b": "full"}],
+//	  "derived": [{"key": "runtime_ps", "a": 100, "b": 120,
+//	               "abs": 20, "rel": 0.2}],
+//	  "derived_only_a": [...], "derived_only_b": [...]    // optional
+//	}
+//
+// Every delta is B relative to A: "abs" is B-A and "rel" is (B-A)/|A|,
+// omitted when A is zero (the relative move is undefined) and for string
+// cells. The document is sparse — only changed rows, params and derived
+// values appear — so two identical sweeps diff to "changed": 0 with no
+// rows. "keys" carries the columns rows were matched on; when empty, rows
+// were matched by position and row diffs carry no "key" object. Like the
+// results schema, atlahs.diff/v1 is append-only.
+//
+// A Series ({"metric", "unit", "points": [{"label", "unix", "value"}]})
+// is one metric's trajectory across an ordered sequence of runs; it has
+// no standalone schema string — it travels inside atlahs.history/v1
+// responses (see internal/analyze and GET /v1/history).
+//
 // # Stability guarantee
 //
 // The "atlahs.results/v1" schema is append-only: released field names,
