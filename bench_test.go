@@ -257,10 +257,8 @@ func BenchmarkExperimentSweepVsSerial(b *testing.B) {
 // than the cold path (fingerprint + queue + full simulation + artifact
 // export) on the same spec.
 func BenchmarkServiceColdVsCacheHit(b *testing.B) {
-	spec := sim.Spec{
-		Synthetic: &sim.Synthetic{Pattern: "alltoall", Ranks: 32, Bytes: 65536},
-		Backend:   "lgs",
-	}
+	spec := sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "alltoall", Ranks: 32, Bytes: 65536}},
+		Backend: "lgs"}
 	wait := func(b *testing.B, svc *service.Service, snap service.Snapshot) service.Snapshot {
 		done, err := svc.Wait(context.Background(), snap.ID)
 		if err != nil {

@@ -153,9 +153,11 @@ func main() {
 			fail(fmt.Errorf("-frontend only applies to -trace"))
 		}
 		spec = sim.Spec{
-			GoalPath:  *goalPath,
-			TracePath: *tracePath,
-			Frontend:  *frontendName,
+			Workload: sim.Workload{
+				GoalPath:  *goalPath,
+				TracePath: *tracePath,
+				Frontend:  *frontendName,
+			},
 			Backend:   *be,
 			CalcScale: *calcScale,
 			Seed:      *seed,

@@ -40,10 +40,12 @@ func main() {
 			Algos: map[sim.CollectiveKind]sim.CollectiveAlgo{sim.CollAllreduce: algo},
 		}
 		lgsRes, err := sim.Run(ctx, sim.Spec{
-			Trace:          raw.Bytes(), // "mpi" frontend, sniffed
-			FrontendConfig: feCfg,
-			Backend:        "lgs",
-			Config:         sim.LGSConfig{Params: sim.HPCParams()},
+			Workload: sim.Workload{
+				Trace:          raw.Bytes(), // "mpi" frontend, sniffed
+				FrontendConfig: feCfg,
+			},
+			Backend: "lgs",
+			Config:  sim.LGSConfig{Params: sim.HPCParams()},
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -51,9 +53,11 @@ func main() {
 
 		// the fluid emulator plays the role of the measured system
 		fluidRes, err := sim.Run(ctx, sim.Spec{
-			Trace:          raw.Bytes(),
-			FrontendConfig: feCfg,
-			Backend:        "fluid",
+			Workload: sim.Workload{
+				Trace:          raw.Bytes(),
+				FrontendConfig: feCfg,
+			},
+			Backend: "fluid",
 			Config: sim.FluidConfig{
 				HostsPerToR: 16,
 				Cores:       1,

@@ -50,8 +50,8 @@ func main() {
 	}
 
 	jobs := []sim.JobSpec{
-		{Trace: llamaTrace.Bytes(), FrontendConfig: sim.NsysConfig{GPUsPerNode: 4}},
-		{Trace: luleshTrace.Bytes()},
+		{Workload: sim.Workload{Trace: llamaTrace.Bytes(), FrontendConfig: sim.NsysConfig{GPUsPerNode: 4}}},
+		{Workload: sim.Workload{Trace: luleshTrace.Bytes()}},
 	}
 
 	first := true

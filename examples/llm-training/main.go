@@ -45,9 +45,11 @@ func main() {
 
 	for _, gpn := range []int{4, 2} {
 		lgsRes, err := sim.Run(ctx, sim.Spec{
-			Trace:          raw.Bytes(), // "nsys" frontend, sniffed
-			FrontendConfig: sim.NsysConfig{GPUsPerNode: gpn},
-			Backend:        "lgs",
+			Workload: sim.Workload{
+				Trace:          raw.Bytes(), // "nsys" frontend, sniffed
+				FrontendConfig: sim.NsysConfig{GPUsPerNode: gpn},
+			},
+			Backend: "lgs",
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -57,10 +59,12 @@ func main() {
 		fmt.Printf("  ATLAHS LGS:  %v\n", lgsRes.Runtime)
 
 		pktRes, err := sim.Run(ctx, sim.Spec{
-			Trace:          raw.Bytes(),
-			FrontendConfig: sim.NsysConfig{GPUsPerNode: gpn},
-			Backend:        "pkt",
-			Config:         sim.PktConfig{HostsPerToR: 4, Cores: 4, CC: "mprdma", Seed: 7},
+			Workload: sim.Workload{
+				Trace:          raw.Bytes(),
+				FrontendConfig: sim.NsysConfig{GPUsPerNode: gpn},
+			},
+			Backend: "pkt",
+			Config:  sim.PktConfig{HostsPerToR: 4, Cores: 4, CC: "mprdma", Seed: 7},
 		})
 		if err != nil {
 			log.Fatal(err)

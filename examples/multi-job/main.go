@@ -58,9 +58,9 @@ func main() {
 	}
 
 	jobs := []sim.JobSpec{
-		{Trace: aiTrace.Bytes(), FrontendConfig: sim.NsysConfig{GPUsPerNode: 4}},
-		{Trace: hpcTrace.Bytes()},
-		{Trace: spcTrace.Bytes(), FrontendConfig: sim.SPCConfig{Hosts: 2, CCS: 1, BSS: 4}},
+		{Workload: sim.Workload{Trace: aiTrace.Bytes(), FrontendConfig: sim.NsysConfig{GPUsPerNode: 4}}},
+		{Workload: sim.Workload{Trace: hpcTrace.Bytes()}},
+		{Workload: sim.Workload{Trace: spcTrace.Bytes(), FrontendConfig: sim.SPCConfig{Hosts: 2, CCS: 1, BSS: 4}}},
 	}
 	names := []string{"LLM training", "MPI stencil", "storage checkpoint"}
 

@@ -51,7 +51,7 @@ func main() {
 	// Simulate through the facade on the LogGOPS backend with the paper's
 	// AI parameters (L=3.7us, o=200ns, G=0.04ns/B).
 	res, err := sim.Run(context.Background(), sim.Spec{
-		Schedule: s,
+		Workload: sim.Workload{Schedule: s},
 		Backend:  "lgs",
 		Config:   sim.LGSConfig{Params: sim.AIParams()},
 	})

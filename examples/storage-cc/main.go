@@ -36,9 +36,11 @@ func main() {
 		// 8:1 oversubscribed two-level fat tree
 		mct := &sim.Sample{}
 		res, err := sim.Run(ctx, sim.Spec{
-			Trace:          raw.Bytes(), // "spc" frontend, sniffed
-			FrontendConfig: sim.SPCConfig{Hosts: 4, CCS: 2, BSS: 8},
-			Backend:        "pkt",
+			Workload: sim.Workload{
+				Trace:          raw.Bytes(), // "spc" frontend, sniffed
+				FrontendConfig: sim.SPCConfig{Hosts: 4, CCS: 2, BSS: 8},
+			},
+			Backend: "pkt",
 			Config: sim.PktConfig{
 				HostsPerToR: 8,
 				Cores:       1,

@@ -99,7 +99,7 @@ func HPCDomain() Domain {
 // reports simulated runtime plus wall-clock simulation time.
 func RunLGS(s *goal.Schedule, p backend.LogGOPS) (simtime.Duration, time.Duration, error) {
 	res, err := sim.Run(context.Background(), sim.Spec{
-		Schedule: s,
+		Workload: sim.Workload{Schedule: s},
 		Backend:  "lgs",
 		Config:   sim.LGSConfig{Params: p},
 	})
@@ -123,7 +123,7 @@ type PktRun struct {
 func RunPkt(s *goal.Schedule, tp *topo.Topology, ccName string, seed uint64, dom Domain) (*PktRun, error) {
 	mct := &stats.Sample{}
 	res, err := sim.Run(context.Background(), sim.Spec{
-		Schedule: s,
+		Workload: sim.Workload{Schedule: s},
 		Backend:  "pkt",
 		Config: sim.PktConfig{
 			Topo:   tp,
@@ -150,7 +150,7 @@ func RunPkt(s *goal.Schedule, tp *topo.Topology, ccName string, seed uint64, dom
 // and per-message overhead emulate system noise deterministically.
 func RunFluid(s *goal.Schedule, tp *topo.Topology, seed uint64, dom Domain) (simtime.Duration, []simtime.Time, error) {
 	res, err := sim.Run(context.Background(), sim.Spec{
-		Schedule: s,
+		Workload: sim.Workload{Schedule: s},
 		Backend:  "fluid",
 		Config: sim.FluidConfig{
 			Topo:       tp,

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"atlahs/internal/workload/micro"
 	"atlahs/results"
 	"atlahs/sim"
 )
@@ -28,10 +29,8 @@ func testServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
 // wireSpec marshals the canonical quick spec the HTTP tests submit.
 func wireSpec(t *testing.T, tag int64) []byte {
 	t.Helper()
-	b, err := sim.MarshalSpec(sim.Spec{
-		Synthetic: &sim.Synthetic{Pattern: "bsp", Ranks: 4, Bytes: 1024 + tag, Phases: 2},
-		Backend:   "lgs",
-	})
+	b, err := sim.MarshalSpec(sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "bsp", Ranks: 4, Bytes: 1024 + tag, Phases: 2}},
+		Backend: "lgs"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,6 +106,47 @@ func TestHTTPSubmitTwice(t *testing.T) {
 	}
 	if sweep.Name != rr1.ID {
 		t.Fatalf("artifact sweep %q, want %q", sweep.Name, rr1.ID)
+	}
+}
+
+// TestHTTPSubmitModelTwice: a model-sourced spec is content-addressed by
+// its generated schedule, so resubmitting the same (model, ranks, seed)
+// answers from the cache like any other workload source.
+func TestHTTPSubmitModelTwice(t *testing.T) {
+	_, ts := testServer(t, Config{Jobs: 1})
+	model, err := sim.MineModel(micro.BulkSynchronous(8, 2, 2048, 900), "service-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc bytes.Buffer
+	if err := sim.EncodeModel(&doc, model); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sim.MarshalSpec(sim.Spec{
+		Workload: sim.Workload{Model: &sim.ModelGen{Ranks: 64, Seed: 5, Doc: doc.Bytes()}},
+		Backend:  "lgs",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp1, rr1 := postSpec(t, ts.URL, spec)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first POST: %d (%+v)", resp1.StatusCode, rr1)
+	}
+	if got := resp1.Header.Get("Cache-Status"); got != "miss" {
+		t.Fatalf("first POST Cache-Status %q, want miss", got)
+	}
+	if rr1.Status != StatusDone || rr1.Result == nil || rr1.Result.Ops == 0 || rr1.Result.Ranks != 64 {
+		t.Fatalf("first POST body %+v", rr1)
+	}
+
+	resp2, rr2 := postSpec(t, ts.URL, spec)
+	if got := resp2.Header.Get("Cache-Status"); got != "hit" {
+		t.Fatalf("second POST Cache-Status %q, want hit", got)
+	}
+	if !rr2.Cached || rr2.ID != rr1.ID {
+		t.Fatalf("second POST body %+v", rr2)
 	}
 }
 
@@ -225,10 +265,8 @@ func TestHTTPGetWaitCacheStatus(t *testing.T) {
 	}))
 	t.Cleanup(ts.Close)
 
-	spec, err := sim.MarshalSpec(sim.Spec{
-		Synthetic: &sim.Synthetic{Pattern: "bsp", Ranks: 4, Bytes: 9000, Phases: 2},
-		Backend:   "gatesim",
-	})
+	spec, err := sim.MarshalSpec(sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "bsp", Ranks: 4, Bytes: 9000, Phases: 2}},
+		Backend: "gatesim"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,10 +323,8 @@ func TestHTTPGetWaitCacheStatus(t *testing.T) {
 func TestHTTPSubmitWaitClientGone(t *testing.T) {
 	svc := newService(t, Config{Jobs: 1})
 	h := NewHandler(svc)
-	body, err := sim.MarshalSpec(sim.Spec{
-		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 9100},
-		Backend:   "blocksim",
-	})
+	body, err := sim.MarshalSpec(sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 9100}},
+		Backend: "blocksim"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,10 +361,8 @@ func TestHTTPRetryAfter(t *testing.T) {
 	svc, ts := testServer(t, Config{Jobs: 1, Queue: 1})
 	blockSpec := func(tag int64) []byte {
 		t.Helper()
-		b, err := sim.MarshalSpec(sim.Spec{
-			Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: tag},
-			Backend:   "blocksim",
-		})
+		b, err := sim.MarshalSpec(sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: tag}},
+			Backend: "blocksim"})
 		if err != nil {
 			t.Fatal(err)
 		}

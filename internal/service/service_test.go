@@ -74,10 +74,8 @@ func init() {
 
 // countSpec builds a countsim spec whose fingerprint varies with tag.
 func countSpec(tag int64) sim.Spec {
-	return sim.Spec{
-		Synthetic: &sim.Synthetic{Pattern: "bsp", Ranks: 4, Bytes: 1024 + tag, Phases: 2},
-		Backend:   "countsim",
-	}
+	return sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "bsp", Ranks: 4, Bytes: 1024 + tag, Phases: 2}},
+		Backend: "countsim"}
 }
 
 func newService(t *testing.T, cfg Config) *Service {
@@ -160,10 +158,8 @@ func TestSubmitCachesIdenticalSpecs(t *testing.T) {
 // first is still in flight joins that run instead of simulating twice.
 func TestConcurrentDuplicatesSingleFlight(t *testing.T) {
 	svc := newService(t, Config{Jobs: 1})
-	spec := sim.Spec{
-		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 2048},
-		Backend:   "blocksim",
-	}
+	spec := sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 2048}},
+		Backend: "blocksim"}
 	first, err := svc.Submit(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -197,10 +193,8 @@ func TestConcurrentDuplicatesSingleFlight(t *testing.T) {
 // ErrQueueFull instead of queueing unboundedly.
 func TestQueueBound(t *testing.T) {
 	svc := newService(t, Config{Jobs: 1, Queue: 1})
-	blocked := sim.Spec{
-		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 4096},
-		Backend:   "blocksim",
-	}
+	blocked := sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 4096}},
+		Backend: "blocksim"}
 	first, err := svc.Submit(blocked)
 	if err != nil {
 		t.Fatal(err)
@@ -218,17 +212,13 @@ func TestQueueBound(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	second := sim.Spec{
-		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 8192},
-		Backend:   "blocksim",
-	}
+	second := sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 8192}},
+		Backend: "blocksim"}
 	if _, err := svc.Submit(second); err != nil {
 		t.Fatalf("queue depth 1 rejected its first queued job: %v", err)
 	}
-	third := sim.Spec{
-		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 16384},
-		Backend:   "blocksim",
-	}
+	third := sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 16384}},
+		Backend: "blocksim"}
 	if _, err := svc.Submit(third); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("overfull queue: %v, want ErrQueueFull", err)
 	}
@@ -248,11 +238,9 @@ func TestQueueBound(t *testing.T) {
 // completion still receives the terminal event.
 func TestEventStream(t *testing.T) {
 	svc := newService(t, Config{Jobs: 1})
-	spec := sim.Spec{
-		Synthetic:     &sim.Synthetic{Pattern: "bsp", Ranks: 4, Bytes: 1024, Phases: 2},
+	spec := sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "bsp", Ranks: 4, Bytes: 1024, Phases: 2}},
 		Backend:       "blocksim",
-		ProgressEvery: 5,
-	}
+		ProgressEvery: 5}
 	snap, err := svc.Submit(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -365,7 +353,8 @@ func TestFileBackedSpecsRedigestContent(t *testing.T) {
 		}
 	}
 	write(2)
-	spec := sim.Spec{GoalPath: path, Backend: "countsim"}
+	spec := sim.Spec{Workload: sim.Workload{GoalPath: path},
+		Backend: "countsim"}
 	before := simCount.Load()
 	first := submitAndWait(t, svc, spec)
 	if first.Status != StatusDone {
@@ -406,7 +395,8 @@ func TestLookasideIgnoresExecutionKnobs(t *testing.T) {
 func TestShareWorkers(t *testing.T) {
 	svc := newService(t, Config{Jobs: 2, Workers: 8})
 	lgs := func(w int) sim.Spec {
-		return sim.Spec{Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4}, Workers: w}
+		return sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4}},
+			Workers: w}
 	}
 	for _, c := range []struct {
 		name string
@@ -417,7 +407,9 @@ func TestShareWorkers(t *testing.T) {
 		{"above-share", lgs(100), 4},
 		{"below-share", lgs(2), 2},
 		{"explicit-serial", lgs(0), 0},
-		{"pkt-serial", sim.Spec{Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4}, Backend: "pkt", Workers: 1}, 1},
+		{"pkt-serial", sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4}},
+			Backend: "pkt",
+			Workers: 1}, 1},
 	} {
 		if got := svc.shareWorkers(c.spec); got != c.want {
 			t.Fatalf("%s: shareWorkers = %d, want %d", c.name, got, c.want)
@@ -430,10 +422,8 @@ func TestSubmitRejects(t *testing.T) {
 	if _, err := svc.Submit(sim.Spec{}); err == nil {
 		t.Fatal("invalid spec accepted")
 	}
-	if _, err := svc.Submit(sim.Spec{
-		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 2},
-		Observer:  sim.NopObserver{},
-	}); err == nil {
+	if _, err := svc.Submit(sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 2}},
+		Observer: sim.NopObserver{}}); err == nil {
 		t.Fatal("spec with an Observer accepted")
 	}
 }
@@ -445,15 +435,13 @@ func TestFailedRunReportsError(t *testing.T) {
 	svc := newService(t, Config{Jobs: 1})
 	// The fingerprint resolves the workload, so a nonexistent path fails at
 	// Submit...
-	if _, err := svc.Submit(sim.Spec{GoalPath: t.TempDir() + "/missing.goal"}); err == nil {
+	if _, err := svc.Submit(sim.Spec{Workload: sim.Workload{GoalPath: t.TempDir() + "/missing.goal"}}); err == nil {
 		t.Fatal("unresolvable workload accepted")
 	}
 	// ...while a config the factory rejects only fails inside the run.
-	snap, err := svc.Submit(sim.Spec{
-		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4},
-		Backend:   "pkt",
-		Config:    sim.PktConfig{HostsPerToR: 4, Oversub: 8},
-	})
+	snap, err := svc.Submit(sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4}},
+		Backend: "pkt",
+		Config:  sim.PktConfig{HostsPerToR: 4, Oversub: 8}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -468,11 +456,9 @@ func TestFailedRunReportsError(t *testing.T) {
 	}
 	// A failure is not a result: re-submitting the same spec must retry
 	// (fresh run, not a cache hit), never replay the stale failure.
-	retry, err := svc.Submit(sim.Spec{
-		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4},
-		Backend:   "pkt",
-		Config:    sim.PktConfig{HostsPerToR: 4, Oversub: 8},
-	})
+	retry, err := svc.Submit(sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4}},
+		Backend: "pkt",
+		Config:  sim.PktConfig{HostsPerToR: 4, Oversub: 8}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -624,10 +610,8 @@ func TestWaitCancelledContext(t *testing.T) {
 		t.Fatalf("finished run reported %+v", snap)
 	}
 
-	inflight, err := svc.Submit(sim.Spec{
-		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 7201},
-		Backend:   "blocksim",
-	})
+	inflight, err := svc.Submit(sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 7201}},
+		Backend: "blocksim"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -704,10 +688,8 @@ func TestJobQueueFairShare(t *testing.T) {
 // executes after the sweep's first member, not after its last.
 func TestFairShareAcrossClasses(t *testing.T) {
 	svc := newService(t, Config{Jobs: 1})
-	hold, err := svc.Submit(sim.Spec{
-		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 7300},
-		Backend:   "blocksim",
-	})
+	hold, err := svc.Submit(sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 7300}},
+		Backend: "blocksim"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -723,11 +705,9 @@ func TestFairShareAcrossClasses(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	oseed := func(seed uint64) sim.Spec {
-		return sim.Spec{
-			Synthetic: &sim.Synthetic{Pattern: "bsp", Ranks: 4, Bytes: 512, Phases: 2},
-			Backend:   "ordersim",
-			Seed:      seed,
-		}
+		return sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "bsp", Ranks: 4, Bytes: 512, Phases: 2}},
+			Backend: "ordersim",
+			Seed:    seed}
 	}
 	orderMu.Lock()
 	start := len(orderSeen)
@@ -813,10 +793,8 @@ func TestSubmitSweepDedup(t *testing.T) {
 // half-deduplicated against a phantom partial batch.
 func TestSubmitSweepQueueFullAtomic(t *testing.T) {
 	svc := newService(t, Config{Jobs: 1, Queue: 1})
-	hold, err := svc.Submit(sim.Spec{
-		Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 7500},
-		Backend:   "blocksim",
-	})
+	hold, err := svc.Submit(sim.Spec{Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 7500}},
+		Backend: "blocksim"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -87,6 +87,50 @@
 // no standalone schema string — it travels inside atlahs.history/v1
 // responses (see internal/analyze and GET /v1/history).
 //
+// # Workload-model schema (atlahs.model/v1)
+//
+// A WorkloadModel is a statistical workload model mined from a resolved
+// GOAL schedule (internal/workload/synth, surfaced as sim.MineModel /
+// `atlahs-synth mine`) and sampled back into schedules at arbitrary rank
+// counts. EncodeModelJSON writes one model as a single JSON object:
+//
+//	{
+//	  "schema":       "atlahs.model/v1",
+//	  "comment":      "mined from run.mpi (frontend mpi)",  // optional provenance
+//	  "source_ranks": 8, "source_ops": 1216,
+//	  "depth_mean":   88, "depth_max": 88,   // dependency-chain profile
+//	  "phases":       87,                    // generation supersteps
+//	  "calc":         {...},                 // calc durations (ns), a dist
+//	  "calc_ns_per_rank":  {...},            // per-rank total compute
+//	  "sends_per_rank":    {...},            // per-rank message counts
+//	  "sizes":        {...},                 // message sizes (bytes)
+//	  "classes": [                           // traffic classes
+//	    {"count": 2560, "sizes": {...},
+//	     "offsets": [0, 80, ...]}            // 32-bin (dst-src) mod n histogram
+//	  ],
+//	  "calc_comm_ratio": 1.2                 // total calc ns / total sent bytes
+//	}
+//
+// Every {...} above is a dist — an empirical distribution carrying its
+// moments and histogram: {"count", "mean", "std", "min", "max", "hist":
+// [{"lo", "hi", "n"}]} with ordered, non-overlapping integer buckets
+// inside [min, max] whose "n" sum to "count" (exact single-value buckets
+// for small supports, log2-width buckets otherwise). Traffic-class
+// "offsets" histograms always have exactly 32 bins (ModelOffsetBins);
+// bin i counts messages whose destination offset (dst-src+n) mod n falls
+// in [i*n/32, (i+1)*n/32) of the source rank count n, which is what lets
+// a model mined at 8 ranks place destinations sensibly at 100k.
+// DecodeModelJSON validates all of this plus finite moments, so a decoded
+// model is always safely samplable.
+//
+// Like the other schemas, atlahs.model/v1 is append-only: released field
+// names keep their meaning and units (durations in integer nanoseconds,
+// sizes in bytes), decoders reject unknown fields of the current version,
+// and renaming or retyping a field requires a new schema version string.
+// Generation from a model is deterministic for (model, ranks, seed), so a
+// model document is a content-addressable workload: equal documents plus
+// equal (ranks, seed) yield bit-identical schedules.
+//
 // # Stability guarantee
 //
 // The "atlahs.results/v1" schema is append-only: released field names,

@@ -34,6 +34,8 @@ type wireSpec struct {
 	Trace          []byte          `json:"trace,omitempty"`
 	Frontend       string          `json:"frontend,omitempty"`
 	FrontendConfig json.RawMessage `json:"frontend_config,omitempty"`
+	Model          *wireModelGen   `json:"model,omitempty"`
+	ModelPath      string          `json:"model_path,omitempty"`
 	Jobs           []wireJob       `json:"jobs,omitempty"`
 	Placement      string          `json:"placement,omitempty"`
 	Backend        string          `json:"backend,omitempty"`
@@ -44,7 +46,8 @@ type wireSpec struct {
 	ProgressEvery  int64           `json:"progress_every,omitempty"`
 }
 
-// wireJob mirrors JobSpec: the same workload fields as the top level.
+// wireJob mirrors one Workload declaration: the same fields as the top
+// level.
 type wireJob struct {
 	GoalPath       string          `json:"goal_path,omitempty"`
 	GoalBytes      []byte          `json:"goal_bytes,omitempty"`
@@ -54,6 +57,16 @@ type wireJob struct {
 	Trace          []byte          `json:"trace,omitempty"`
 	Frontend       string          `json:"frontend,omitempty"`
 	FrontendConfig json.RawMessage `json:"frontend_config,omitempty"`
+	Model          *wireModelGen   `json:"model,omitempty"`
+	ModelPath      string          `json:"model_path,omitempty"`
+}
+
+// wireModelGen mirrors ModelGen; the model document travels inline as a
+// standard-base64 JSON string.
+type wireModelGen struct {
+	Ranks int    `json:"ranks,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+	Doc   []byte `json:"doc,omitempty"`
 }
 
 // wireSynthetic mirrors Synthetic with stable snake_case keys.
@@ -91,8 +104,7 @@ func MarshalSpec(sp Spec) ([]byte, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
-	single := sp.single()
-	wj, err := encodeJob(&single)
+	wj, err := encodeWorkload(&sp.Workload)
 	if err != nil {
 		return nil, err
 	}
@@ -106,6 +118,8 @@ func MarshalSpec(sp Spec) ([]byte, error) {
 		Trace:          wj.Trace,
 		Frontend:       wj.Frontend,
 		FrontendConfig: wj.FrontendConfig,
+		Model:          wj.Model,
+		ModelPath:      wj.ModelPath,
 		Placement:      sp.Placement,
 		Backend:        sp.Backend,
 		Workers:        sp.Workers,
@@ -114,7 +128,7 @@ func MarshalSpec(sp Spec) ([]byte, error) {
 		ProgressEvery:  sp.ProgressEvery,
 	}
 	for i := range sp.Jobs {
-		j, err := encodeJob(&sp.Jobs[i])
+		j, err := encodeWorkload(&sp.Jobs[i].Workload)
 		if err != nil {
 			return nil, fmt.Errorf("sim: job %d: %w", i, err)
 		}
@@ -132,15 +146,19 @@ func MarshalSpec(sp Spec) ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-// encodeJob renders one workload declaration (the top-level fields or one
-// composed job) into its wire form.
-func encodeJob(j *JobSpec) (*wireJob, error) {
+// encodeWorkload renders one workload declaration (the top-level fields
+// or one composed job's) into its wire form.
+func encodeWorkload(j *Workload) (*wireJob, error) {
 	w := &wireJob{
 		GoalPath:  j.GoalPath,
 		GoalBytes: j.GoalBytes,
 		TracePath: j.TracePath,
 		Trace:     j.Trace,
 		Frontend:  j.Frontend,
+		ModelPath: j.ModelPath,
+	}
+	if j.Model != nil {
+		w.Model = &wireModelGen{Ranks: j.Model.Ranks, Seed: j.Model.Seed, Doc: j.Model.Doc}
 	}
 	if j.Schedule != nil {
 		var buf bytes.Buffer
@@ -191,7 +209,7 @@ func UnmarshalSpec(b []byte) (Spec, error) {
 	if ws.Schema != SpecSchema {
 		return Spec{}, fmt.Errorf("sim: unknown spec schema %q (want %q)", ws.Schema, SpecSchema)
 	}
-	single, err := decodeJob(&wireJob{
+	single, err := decodeWorkload(&wireJob{
 		GoalPath:  ws.GoalPath,
 		GoalBytes: ws.GoalBytes,
 		Schedule:  ws.Schedule,
@@ -199,32 +217,26 @@ func UnmarshalSpec(b []byte) (Spec, error) {
 		TracePath: ws.TracePath,
 		Trace:     ws.Trace,
 		Frontend:  ws.Frontend, FrontendConfig: ws.FrontendConfig,
+		Model: ws.Model, ModelPath: ws.ModelPath,
 	})
 	if err != nil {
 		return Spec{}, err
 	}
 	sp := Spec{
-		GoalPath:       single.GoalPath,
-		GoalBytes:      single.GoalBytes,
-		Schedule:       single.Schedule,
-		Synthetic:      single.Synthetic,
-		TracePath:      single.TracePath,
-		Trace:          single.Trace,
-		Frontend:       single.Frontend,
-		FrontendConfig: single.FrontendConfig,
-		Placement:      ws.Placement,
-		Backend:        ws.Backend,
-		Workers:        ws.Workers,
-		CalcScale:      ws.CalcScale,
-		Seed:           ws.Seed,
-		ProgressEvery:  ws.ProgressEvery,
+		Workload:      *single,
+		Placement:     ws.Placement,
+		Backend:       ws.Backend,
+		Workers:       ws.Workers,
+		CalcScale:     ws.CalcScale,
+		Seed:          ws.Seed,
+		ProgressEvery: ws.ProgressEvery,
 	}
 	for i := range ws.Jobs {
-		j, err := decodeJob(&ws.Jobs[i])
+		j, err := decodeWorkload(&ws.Jobs[i])
 		if err != nil {
 			return Spec{}, fmt.Errorf("sim: job %d: %w", i, err)
 		}
-		sp.Jobs = append(sp.Jobs, *j)
+		sp.Jobs = append(sp.Jobs, JobSpec{Workload: *j})
 	}
 	name := sp.backendName()
 	def, ok := Lookup(name)
@@ -240,14 +252,19 @@ func UnmarshalSpec(b []byte) (Spec, error) {
 	return sp, nil
 }
 
-// decodeJob resolves one wire workload declaration back into a JobSpec.
-func decodeJob(w *wireJob) (*JobSpec, error) {
-	j := &JobSpec{
+// decodeWorkload resolves one wire workload declaration back into a
+// Workload.
+func decodeWorkload(w *wireJob) (*Workload, error) {
+	j := &Workload{
 		GoalPath:  w.GoalPath,
 		GoalBytes: nilIfEmpty(w.GoalBytes),
 		TracePath: w.TracePath,
 		Trace:     nilIfEmpty(w.Trace),
 		Frontend:  w.Frontend,
+		ModelPath: w.ModelPath,
+	}
+	if w.Model != nil {
+		j.Model = &ModelGen{Ranks: w.Model.Ranks, Seed: w.Model.Seed, Doc: nilIfEmpty(w.Model.Doc)}
 	}
 	if len(w.Schedule) > 0 {
 		if !bytes.HasPrefix(w.Schedule, []byte(goalMagic)) {
@@ -388,22 +405,29 @@ type canonSpec struct {
 }
 
 // SelfContained reports whether the spec's workloads are fully inline —
-// no GoalPath or TracePath anywhere, including composed jobs — so its
+// no GoalPath, TracePath or ModelPath anywhere, including composed jobs —
+// so its
 // wire encoding alone determines the simulation. For self-contained
 // specs, equal canonical encodings imply equal Fingerprints, which lets
 // a cache answer re-submissions without resolving the workload at all;
 // file-backed specs lack that property (the file's contents can change
 // under the same path) and must be re-digested every time.
 func (sp *Spec) SelfContained() bool {
-	if sp.GoalPath != "" || sp.TracePath != "" {
+	if !sp.Workload.selfContained() {
 		return false
 	}
 	for i := range sp.Jobs {
-		if sp.Jobs[i].GoalPath != "" || sp.Jobs[i].TracePath != "" {
+		if !sp.Jobs[i].Workload.selfContained() {
 			return false
 		}
 	}
 	return true
+}
+
+// selfContained reports whether the workload declaration references no
+// files.
+func (w *Workload) selfContained() bool {
+	return w.GoalPath == "" && w.TracePath == "" && w.ModelPath == ""
 }
 
 // Fingerprint returns a Spec's content address: the hex SHA-256 of its

@@ -19,63 +19,63 @@ func codecSpecs() map[string]Spec {
 		panic(err)
 	}
 	return map[string]Spec{
-		"lgs": {
-			Synthetic: &Synthetic{Pattern: "ring", Ranks: 4, Bytes: 1024},
-			Backend:   "lgs",
-			Config:    LGSConfig{Params: HPCParams()},
-			Workers:   4,
+		"lgs": {Workload: Workload{Synthetic: &Synthetic{Pattern: "ring", Ranks: 4, Bytes: 1024}},
+			Backend: "lgs",
+			Config:  LGSConfig{Params: HPCParams()},
+			Workers: 4,
 		},
-		"pkt": {
-			GoalBytes: sched.Bytes(),
-			Backend:   "pkt",
-			Config:    PktConfig{HostsPerToR: 8, Oversub: 2, CC: "dctcp"},
-			Seed:      7,
+		"pkt": {Workload: Workload{GoalBytes: sched.Bytes()},
+			Backend: "pkt",
+			Config:  PktConfig{HostsPerToR: 8, Oversub: 2, CC: "dctcp"},
+			Seed:    7,
 		},
-		"fluid": {
-			Schedule:  micro.AllToAll(3, 256),
+		"fluid": {Workload: Workload{Schedule: micro.AllToAll(3, 256)},
 			Backend:   "fluid",
 			Config:    FluidConfig{JitterFrac: 0.1, Overhead: 1500},
 			CalcScale: 1.5,
 		},
-		"goal-frontend": {
-			Trace: []byte("num_ranks 1\nrank 0 {\nl1: calc 5\n}\n"),
+		"goal-frontend": {Workload: Workload{Trace: []byte("num_ranks 1\nrank 0 {\nl1: calc 5\n}\n")}},
+		"nsys":          {Workload: Workload{TracePath: "run.nsys", Frontend: "nsys", FrontendConfig: NsysConfig{GPUsPerNode: 2, Channels: 2}}},
+		"mpi": {Workload: Workload{TracePath: "run.mpi", Frontend: "mpi", FrontendConfig: MPIConfig{
+			Algos:        map[CollectiveKind]CollectiveAlgo{CollAllreduce: AlgoRing},
+			MinComputeNs: 500,
+		}},
 		},
-		"nsys": {
-			TracePath:      "run.nsys",
-			Frontend:       "nsys",
-			FrontendConfig: NsysConfig{GPUsPerNode: 2, Channels: 2},
+		"spc": {Workload: Workload{TracePath: "run.spc", Frontend: "spc", FrontendConfig: SPCConfig{Hosts: 2, Replicas: 3}}},
+		"chakra": {Workload: Workload{TracePath: "run.et", Frontend: "chakra", FrontendConfig: ChakraConfig{
+			WorldGroup: "world",
+			Groups:     map[string][]int{"tp": {0, 1}},
+		}},
 		},
-		"mpi": {
-			TracePath: "run.mpi",
-			Frontend:  "mpi",
-			FrontendConfig: MPIConfig{
-				Algos:        map[CollectiveKind]CollectiveAlgo{CollAllreduce: AlgoRing},
-				MinComputeNs: 500,
-			},
+		"model": {Workload: Workload{Model: &ModelGen{Ranks: 12, Seed: 5, Doc: testModelDoc()}},
+			Backend: "lgs",
 		},
-		"spc": {
-			TracePath:      "run.spc",
-			Frontend:       "spc",
-			FrontendConfig: SPCConfig{Hosts: 2, Replicas: 3},
-		},
-		"chakra": {
-			TracePath: "run.et",
-			Frontend:  "chakra",
-			FrontendConfig: ChakraConfig{
-				WorldGroup: "world",
-				Groups:     map[string][]int{"tp": {0, 1}},
-			},
+		"model-path": {Workload: Workload{ModelPath: "run.model.json", Model: &ModelGen{Ranks: 24}},
+			Backend: "lgs",
 		},
 		"multi-job": {
 			Jobs: []JobSpec{
-				{Synthetic: &Synthetic{Pattern: "bsp", Ranks: 4, Bytes: 2048, Phases: 2}},
-				{TracePath: "ckpt.spc", Frontend: "spc"},
+				{Workload: Workload{Synthetic: &Synthetic{Pattern: "bsp", Ranks: 4, Bytes: 2048, Phases: 2}}},
+				{Workload: Workload{TracePath: "ckpt.spc", Frontend: "spc"}},
 			},
 			Placement: "interleaved",
 			Backend:   "lgs",
 			Seed:      3,
 		},
 	}
+}
+
+// testModelDoc mines a small model and returns its canonical encoding.
+func testModelDoc() []byte {
+	m, err := MineModel(micro.BulkSynchronous(4, 2, 1024, 500), "codec-test")
+	if err != nil {
+		panic(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeModel(&buf, m); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
 }
 
 // TestSpecCodecRoundTrip pins the codec's core contract for every built-in
@@ -114,11 +114,9 @@ func TestSpecCodecRoundTrip(t *testing.T) {
 // TestSpecCodecPreservesResults: a spec that went through the wire must
 // simulate bit-identically to the original.
 func TestSpecCodecPreservesResults(t *testing.T) {
-	spec := Spec{
-		Schedule: micro.BulkSynchronous(6, 3, 8192, 2000),
-		Backend:  "lgs",
-		Config:   LGSConfig{Params: AIParams()},
-	}
+	spec := Spec{Workload: Workload{Schedule: micro.BulkSynchronous(6, 3, 8192, 2000)},
+		Backend: "lgs",
+		Config:  LGSConfig{Params: AIParams()}}
 	want, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
@@ -151,17 +149,28 @@ func TestMarshalSpecRejects(t *testing.T) {
 		spec Spec
 		want string
 	}{
-		"observer":           {Spec{Synthetic: ring, Observer: NopObserver{}}, "Observer"},
-		"invalid":            {Spec{}, "no workload"},
-		"unknown-backend":    {Spec{Synthetic: ring, Backend: "nosim"}, "unknown backend"},
-		"config-mismatch":    {Spec{Synthetic: ring, Backend: "lgs", Config: PktConfig{}}, "wants a"},
-		"explicit-topo":      {Spec{Synthetic: ring, Backend: "pkt", Config: PktConfig{Topo: topo}}, "cannot cross the wire"},
-		"mct-sink":           {Spec{Synthetic: ring, Backend: "pkt", Config: PktConfig{MCT: &Sample{}}}, "cannot cross the wire"},
-		"fluid-topo":         {Spec{Synthetic: ring, Backend: "fluid", Config: FluidConfig{Topo: topo}}, "cannot cross the wire"},
-		"sniffed-config":     {Spec{Trace: []byte("x"), FrontendConfig: NsysConfig{}}, "named explicitly"},
-		"goal-config":        {Spec{Trace: []byte("x"), Frontend: "goal", FrontendConfig: NsysConfig{}}, "no wire config type"},
-		"frontend-mismatch":  {Spec{TracePath: "a.nsys", Frontend: "nsys", FrontendConfig: MPIConfig{}}, "wants a"},
-		"placement-sans-job": {Spec{Synthetic: ring, Placement: "packed"}, "only meaningful with Jobs"},
+		"observer": {Spec{Workload: Workload{Synthetic: ring},
+			Observer: NopObserver{}}, "Observer"},
+		"invalid": {Spec{}, "no workload"},
+		"unknown-backend": {Spec{Workload: Workload{Synthetic: ring},
+			Backend: "nosim"}, "unknown backend"},
+		"config-mismatch": {Spec{Workload: Workload{Synthetic: ring},
+			Backend: "lgs",
+			Config:  PktConfig{}}, "wants a"},
+		"explicit-topo": {Spec{Workload: Workload{Synthetic: ring},
+			Backend: "pkt",
+			Config:  PktConfig{Topo: topo}}, "cannot cross the wire"},
+		"mct-sink": {Spec{Workload: Workload{Synthetic: ring},
+			Backend: "pkt",
+			Config:  PktConfig{MCT: &Sample{}}}, "cannot cross the wire"},
+		"fluid-topo": {Spec{Workload: Workload{Synthetic: ring},
+			Backend: "fluid",
+			Config:  FluidConfig{Topo: topo}}, "cannot cross the wire"},
+		"sniffed-config":    {Spec{Workload: Workload{Trace: []byte("x"), FrontendConfig: NsysConfig{}}}, "named explicitly"},
+		"goal-config":       {Spec{Workload: Workload{Trace: []byte("x"), Frontend: "goal", FrontendConfig: NsysConfig{}}}, "no wire config type"},
+		"frontend-mismatch": {Spec{Workload: Workload{TracePath: "a.nsys", Frontend: "nsys", FrontendConfig: MPIConfig{}}}, "wants a"},
+		"placement-sans-job": {Spec{Workload: Workload{Synthetic: ring},
+			Placement: "packed"}, "only meaningful with Jobs"},
 	}
 	for name, c := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -207,11 +216,14 @@ func TestUnmarshalSpecRejects(t *testing.T) {
 // spec with byte-identical error text — Validate is the one path.
 func TestValidateSharedErrorText(t *testing.T) {
 	for name, spec := range map[string]Spec{
-		"two-sources":     {Schedule: micro.Ring(2, 64), Synthetic: &Synthetic{Pattern: "ring", Ranks: 2}},
-		"unknown-backend": {Synthetic: &Synthetic{Pattern: "ring", Ranks: 2}, Backend: "nosim"},
-		"pkt-workers":     {Synthetic: &Synthetic{Pattern: "ring", Ranks: 2}, Backend: "pkt", Workers: 4},
-		"bad-pattern":     {Synthetic: &Synthetic{Pattern: "nope", Ranks: 2}},
-		"bad-placement":   {Jobs: []JobSpec{{Synthetic: &Synthetic{Pattern: "ring", Ranks: 2}}}, Placement: "diagonal"},
+		"two-sources": {Workload: Workload{Schedule: micro.Ring(2, 64), Synthetic: &Synthetic{Pattern: "ring", Ranks: 2}}},
+		"unknown-backend": {Workload: Workload{Synthetic: &Synthetic{Pattern: "ring", Ranks: 2}},
+			Backend: "nosim"},
+		"pkt-workers": {Workload: Workload{Synthetic: &Synthetic{Pattern: "ring", Ranks: 2}},
+			Backend: "pkt",
+			Workers: 4},
+		"bad-pattern":   {Workload: Workload{Synthetic: &Synthetic{Pattern: "nope", Ranks: 2}}},
+		"bad-placement": {Jobs: []JobSpec{{Workload: Workload{Synthetic: &Synthetic{Pattern: "ring", Ranks: 2}}}}, Placement: "diagonal"},
 	} {
 		t.Run(name, func(t *testing.T) {
 			verr := spec.Validate()
@@ -229,7 +241,8 @@ func TestValidateSharedErrorText(t *testing.T) {
 }
 
 func TestFingerprint(t *testing.T) {
-	base := Spec{Synthetic: &Synthetic{Pattern: "alltoall", Ranks: 4, Bytes: 4096}, Backend: "lgs"}
+	base := Spec{Workload: Workload{Synthetic: &Synthetic{Pattern: "alltoall", Ranks: 4, Bytes: 4096}},
+		Backend: "lgs"}
 	fp := func(t *testing.T, sp Spec) string {
 		t.Helper()
 		s, err := Fingerprint(sp)
@@ -246,10 +259,16 @@ func TestFingerprint(t *testing.T) {
 	// Execution knobs never affect results, so they must not affect the
 	// address; neither do spellings of the same default.
 	for name, same := range map[string]Spec{
-		"workers":        {Synthetic: base.Synthetic, Backend: "lgs", Workers: 8},
-		"progress":       {Synthetic: base.Synthetic, Backend: "lgs", ProgressEvery: 10},
-		"default-name":   {Synthetic: base.Synthetic},
-		"explicit-scale": {Synthetic: base.Synthetic, Backend: "lgs", CalcScale: 1},
+		"workers": {Workload: Workload{Synthetic: base.Synthetic},
+			Backend: "lgs",
+			Workers: 8},
+		"progress": {Workload: Workload{Synthetic: base.Synthetic},
+			Backend:       "lgs",
+			ProgressEvery: 10},
+		"default-name": {Workload: Workload{Synthetic: base.Synthetic}},
+		"explicit-scale": {Workload: Workload{Synthetic: base.Synthetic},
+			Backend:   "lgs",
+			CalcScale: 1},
 	} {
 		if got := fp(t, same); got != want {
 			t.Fatalf("%s: fingerprint %s, want %s (result-neutral knob changed the address)", name, got, want)
@@ -258,11 +277,19 @@ func TestFingerprint(t *testing.T) {
 
 	// Result-affecting fields must move the address.
 	for name, other := range map[string]Spec{
-		"workload": {Synthetic: &Synthetic{Pattern: "alltoall", Ranks: 4, Bytes: 8192}, Backend: "lgs"},
-		"backend":  {Synthetic: base.Synthetic, Backend: "pkt"},
-		"config":   {Synthetic: base.Synthetic, Backend: "lgs", Config: LGSConfig{Params: HPCParams()}},
-		"scale":    {Synthetic: base.Synthetic, Backend: "lgs", CalcScale: 2},
-		"seed":     {Synthetic: base.Synthetic, Backend: "lgs", Seed: 42},
+		"workload": {Workload: Workload{Synthetic: &Synthetic{Pattern: "alltoall", Ranks: 4, Bytes: 8192}},
+			Backend: "lgs"},
+		"backend": {Workload: Workload{Synthetic: base.Synthetic},
+			Backend: "pkt"},
+		"config": {Workload: Workload{Synthetic: base.Synthetic},
+			Backend: "lgs",
+			Config:  LGSConfig{Params: HPCParams()}},
+		"scale": {Workload: Workload{Synthetic: base.Synthetic},
+			Backend:   "lgs",
+			CalcScale: 2},
+		"seed": {Workload: Workload{Synthetic: base.Synthetic},
+			Backend: "lgs",
+			Seed:    42},
 	} {
 		if got := fp(t, other); got == want {
 			t.Fatalf("%s: fingerprint did not change", name)
@@ -283,7 +310,7 @@ func TestResolveSpecPinsWorkload(t *testing.T) {
 	if err := os.WriteFile(path, bin.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	spec := Spec{GoalPath: path}
+	spec := Spec{Workload: Workload{GoalPath: path}}
 	want, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
@@ -322,14 +349,14 @@ func TestFingerprintAliasesWorkloadSources(t *testing.T) {
 	if err := os.WriteFile(path, bin.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	want, err := Fingerprint(Spec{Schedule: s})
+	want, err := Fingerprint(Spec{Workload: Workload{Schedule: s}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for name, spec := range map[string]Spec{
-		"bytes": {GoalBytes: bin.Bytes()},
-		"path":  {GoalPath: path},
-		"trace": {Trace: bin.Bytes(), Frontend: "goal"},
+		"bytes": {Workload: Workload{GoalBytes: bin.Bytes()}},
+		"path":  {Workload: Workload{GoalPath: path}},
+		"trace": {Workload: Workload{Trace: bin.Bytes(), Frontend: "goal"}},
 	} {
 		got, err := Fingerprint(spec)
 		if err != nil {

@@ -43,9 +43,9 @@ func threeJobSpec(t *testing.T) []JobSpec {
 		t.Fatal(err)
 	}
 	return []JobSpec{
-		{Trace: ai.Bytes(), FrontendConfig: NsysConfig{GPUsPerNode: 4}},
-		{Trace: hpc.Bytes()},
-		{Trace: spc.Bytes(), FrontendConfig: SPCConfig{Hosts: 2, CCS: 1, BSS: 3}},
+		{Workload: Workload{Trace: ai.Bytes(), FrontendConfig: NsysConfig{GPUsPerNode: 4}}},
+		{Workload: Workload{Trace: hpc.Bytes()}},
+		{Workload: Workload{Trace: spc.Bytes(), FrontendConfig: SPCConfig{Hosts: 2, CCS: 1, BSS: 3}}},
 	}
 }
 
@@ -76,8 +76,8 @@ func TestComposedScenarioDeterministic(t *testing.T) {
 // for packed, round-robin for interleaved.
 func TestComposePlacements(t *testing.T) {
 	jobs := []JobSpec{
-		{Synthetic: &Synthetic{Pattern: "ring", Ranks: 4, Bytes: 1024}},
-		{Synthetic: &Synthetic{Pattern: "ring", Ranks: 2, Bytes: 1024}},
+		{Workload: Workload{Synthetic: &Synthetic{Pattern: "ring", Ranks: 4, Bytes: 1024}}},
+		{Workload: Workload{Synthetic: &Synthetic{Pattern: "ring", Ranks: 2, Bytes: 1024}}},
 	}
 	packed := runResult(t, Spec{Jobs: jobs})
 	if want := [][]int{{0, 1, 2, 3}, {4, 5}}; !reflect.DeepEqual(packed.JobNodes, want) {
@@ -102,13 +102,13 @@ func TestComposePlacements(t *testing.T) {
 // hand and using the single-Schedule path.
 func TestComposeMatchesManualMerge(t *testing.T) {
 	a := runResult(t, Spec{Jobs: []JobSpec{
-		{Synthetic: &Synthetic{Pattern: "alltoall", Ranks: 4, Bytes: 2048}},
-		{Synthetic: &Synthetic{Pattern: "incast", Ranks: 4, Bytes: 4096}},
+		{Workload: Workload{Synthetic: &Synthetic{Pattern: "alltoall", Ranks: 4, Bytes: 2048}}},
+		{Workload: Workload{Synthetic: &Synthetic{Pattern: "incast", Ranks: 4, Bytes: 4096}}},
 	}})
 	// Single-workload runs of each job, sharing no fabric: per-job rank
 	// completion must carry over unchanged on the topology-oblivious lgs.
-	j0 := runResult(t, Spec{Synthetic: &Synthetic{Pattern: "alltoall", Ranks: 4, Bytes: 2048}})
-	j1 := runResult(t, Spec{Synthetic: &Synthetic{Pattern: "incast", Ranks: 4, Bytes: 4096}})
+	j0 := runResult(t, Spec{Workload: Workload{Synthetic: &Synthetic{Pattern: "alltoall", Ranks: 4, Bytes: 2048}}})
+	j1 := runResult(t, Spec{Workload: Workload{Synthetic: &Synthetic{Pattern: "incast", Ranks: 4, Bytes: 4096}}})
 	for r, end := range j0.RankEnd {
 		if a.RankEnd[a.JobNodes[0][r]] != end {
 			t.Fatalf("job 0 rank %d: composed end %v, solo end %v", r, a.RankEnd[a.JobNodes[0][r]], end)
@@ -127,18 +127,20 @@ func TestComposeMatchesManualMerge(t *testing.T) {
 func TestJobsSpecErrors(t *testing.T) {
 	ring := &Synthetic{Pattern: "ring", Ranks: 2, Bytes: 64}
 	cases := map[string]Spec{
-		"jobs+top-level": {Synthetic: ring, Jobs: []JobSpec{{Synthetic: ring}}},
-		"placement-only": {Synthetic: ring, Placement: "packed"},
-		"bad-placement":  {Jobs: []JobSpec{{Synthetic: ring}}, Placement: "diagonal"},
-		"empty-job":      {Jobs: []JobSpec{{}}},
-		"two-sources":    {Jobs: []JobSpec{{Synthetic: ring, GoalPath: "x"}}},
+		"jobs+top-level": {Workload: Workload{Synthetic: ring},
+			Jobs: []JobSpec{{Workload: Workload{Synthetic: ring}}}},
+		"placement-only": {Workload: Workload{Synthetic: ring},
+			Placement: "packed"},
+		"bad-placement": {Jobs: []JobSpec{{Workload: Workload{Synthetic: ring}}}, Placement: "diagonal"},
+		"empty-job":     {Jobs: []JobSpec{{}}},
+		"two-sources":   {Jobs: []JobSpec{{Workload: Workload{Synthetic: ring, GoalPath: "x"}}}},
 	}
 	for label, spec := range cases {
 		if _, err := Run(context.Background(), spec); err == nil {
 			t.Errorf("%s: expected an error", label)
 		}
 	}
-	if _, err := Run(context.Background(), Spec{Jobs: []JobSpec{{Synthetic: ring}, {}}}); err == nil ||
+	if _, err := Run(context.Background(), Spec{Jobs: []JobSpec{{Workload: Workload{Synthetic: ring}}, {}}}); err == nil ||
 		!strings.Contains(err.Error(), "job 1") {
 		t.Fatalf("job errors should name the job, got %v", err)
 	}

@@ -12,20 +12,46 @@
 // conditions — so results can be exported (see the results package) and
 // compared across runs.
 //
-// Workloads enter through two symmetric registries. On the ingestion side,
-// the workload-frontend registry (RegisterFrontend) is the boundary where
-// application traces meet the GOAL intermediate representation: a Spec may
-// name a pre-converted GOAL schedule (GoalPath, GoalBytes, Schedule), a
-// synthetic traffic generator (Synthetic), or a raw application trace
-// (TracePath, Trace) that a registered frontend converts on the fly — the
-// built-ins are "nsys" (GPU reports through the 4-stage NCCL pipeline),
-// "mpi" (liballprof-style traces through Schedgen), "spc" (block-I/O
-// traces through the Direct Drive model), "chakra" (AstraSim's execution
-// traces), and "goal" (the GOAL codecs themselves). The format is sniffed
-// from the content with the file extension as fallback, or named
-// explicitly via Spec.Frontend; per-frontend conversion knobs ride in
-// Spec.FrontendConfig. On the backend side, the registry built in PR 2
-// resolves Spec.Backend ("lgs", "pkt", "fluid", or third-party).
+// Workloads enter through three symmetric registries, declared on one
+// shared Workload struct (embedded by Spec and JobSpec, so the fields
+// read as each spec's own and single and composed workloads validate and
+// resolve through one path). On the ingestion side, the workload-frontend
+// registry (RegisterFrontend) is the boundary where application traces
+// meet the GOAL intermediate representation: a Spec may name a
+// pre-converted GOAL schedule (GoalPath, GoalBytes, Schedule), a
+// synthetic traffic generator (Synthetic), a raw application trace
+// (TracePath, Trace) that a registered frontend converts on the fly, or a
+// statistical workload model (Model, ModelPath) sampled into a schedule
+// at resolution time. The built-in frontends are "nsys" (GPU reports
+// through the 4-stage NCCL pipeline), "mpi" (liballprof-style traces
+// through Schedgen), "spc" (block-I/O traces through the Direct Drive
+// model), "chakra" (AstraSim's execution traces), and "goal" (the GOAL
+// codecs themselves). The format is sniffed from the content with the
+// file extension as fallback, or named explicitly via Spec.Frontend;
+// per-frontend conversion knobs ride in Spec.FrontendConfig. On the
+// generation side, the generator registry (RegisterGenerator) resolves
+// Synthetic.Pattern by name — the built-in patterns ("ring", "alltoall",
+// "incast", "permutation", "uniform", "bsp") self-register, as does the
+// "model" generator behind the model workload source — so third-party
+// traffic patterns plug in exactly like third-party frontends. On the
+// backend side, the registry built in PR 2 resolves Spec.Backend ("lgs",
+// "pkt", "fluid", or third-party).
+//
+// Workload synthesis closes the loop between ingestion and generation:
+// MineModel walks any resolved schedule — a converted trace, a loaded
+// GOAL file, a generated pattern — and extracts a statistical model
+// (message-size and per-rank message-count distributions, compute/
+// communication structure, traffic classes with destination-offset
+// histograms, and the dependency-depth profile), serialised under the
+// append-only atlahs.model/v1 schema (EncodeModel/DecodeModel; the
+// concrete types live in the results package). GenerateFromModel — or a
+// Spec with Model/ModelPath set — samples a model back into a schedule at
+// an arbitrary rank count, deterministically for (model, ranks, seed), so
+// an 8-rank instrumented run can drive simulations at 100k ranks and the
+// generated workloads stay content-addressable (Fingerprint hashes the
+// resolved schedule, so the service's run cache answers repeated model
+// runs without simulating). cmd/atlahs-synth is the CLI over the same
+// pair (`mine`, `gen`).
 //
 // Multi-job scenarios compose at the same boundary: Spec.Jobs declares N
 // independently-sourced workloads (each resolved exactly like a
@@ -57,29 +83,36 @@
 // Minimal use:
 //
 //	res, err := sim.Run(ctx, sim.Spec{
-//		Synthetic: &sim.Synthetic{Pattern: "alltoall", Ranks: 64, Bytes: 1 << 16},
-//		Backend:   "lgs",
-//		Workers:   4,
+//		Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "alltoall", Ranks: 64, Bytes: 1 << 16}},
+//		Backend:  "lgs",
+//		Workers:  4,
 //	})
 //
-// Direct trace replay and scenario composition:
+// Direct trace replay, model-based synthesis and scenario composition:
 //
-//	res, err := sim.Run(ctx, sim.Spec{TracePath: "run.nsys"}) // sniffed, NCCL pipeline
+//	res, err := sim.Run(ctx, sim.Spec{Workload: sim.Workload{TracePath: "run.nsys"}}) // sniffed, NCCL pipeline
+//	res, err := sim.Run(ctx, sim.Spec{
+//		Workload: sim.Workload{Model: &sim.ModelGen{Ranks: 4096, Doc: modelDoc}}, // mined once, scaled up
+//	})
 //	res, err := sim.Run(ctx, sim.Spec{
 //		Jobs: []sim.JobSpec{
-//			{TracePath: "train.nsys", FrontendConfig: sim.NsysConfig{GPUsPerNode: 4}},
-//			{TracePath: "stencil.mpi"},
-//			{TracePath: "checkpoint.spc"},
+//			{Workload: sim.Workload{TracePath: "train.nsys", FrontendConfig: sim.NsysConfig{GPUsPerNode: 4}}},
+//			{Workload: sim.Workload{TracePath: "stencil.mpi"}},
+//			{Workload: sim.Workload{ModelPath: "checkpoint.model.json"}},
 //		},
 //		Placement: "interleaved",
 //		Backend:   "pkt",
 //	})
 //
 // Any simulator honouring the ATLAHS backend contract (paper Fig 7) can be
-// plugged in behind the same schedule, and any trace format can be plugged
-// in ahead of it:
+// plugged in behind the same schedule, and any trace format or traffic
+// pattern can be plugged in ahead of it:
 //
 //	sim.Register(sim.Definition{Name: "mysim", New: newMySim})
 //	sim.RegisterFrontend(sim.Frontend{Name: "myfmt", Sniff: sniff, Convert: convert})
-//	res, err := sim.Run(ctx, sim.Spec{TracePath: "run.myfmt", Backend: "mysim"})
+//	sim.RegisterGenerator(sim.GeneratorDef{Name: "mypattern", New: genMyPattern})
+//	res, err := sim.Run(ctx, sim.Spec{
+//		Workload: sim.Workload{TracePath: "run.myfmt"},
+//		Backend:  "mysim",
+//	})
 package sim

@@ -155,7 +155,7 @@ func runResult(t *testing.T, spec Spec) *Result {
 func TestFrontendGoldenEquivalence(t *testing.T) {
 	dir := t.TempDir()
 	for i, c := range frontendCases(t) {
-		want := runResult(t, Spec{Schedule: c.want})
+		want := runResult(t, Spec{Workload: Workload{Schedule: c.want}})
 
 		// Extension-free filename, so path-based runs exercise content
 		// sniffing rather than the extension fallback.
@@ -164,10 +164,10 @@ func TestFrontendGoldenEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		variants := map[string]Spec{
-			"bytes-sniffed": {Trace: c.raw},
-			"bytes-named":   {Trace: c.raw, Frontend: c.frontend},
-			"path-sniffed":  {TracePath: path},
-			"path-named":    {TracePath: path, Frontend: c.frontend},
+			"bytes-sniffed": {Workload: Workload{Trace: c.raw}},
+			"bytes-named":   {Workload: Workload{Trace: c.raw, Frontend: c.frontend}},
+			"path-sniffed":  {Workload: Workload{TracePath: path}},
+			"path-named":    {Workload: Workload{TracePath: path, Frontend: c.frontend}},
 		}
 		for label, spec := range variants {
 			got := runResult(t, spec)
@@ -196,8 +196,8 @@ func TestFrontendExtensionFallback(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	want := runResult(t, Spec{Schedule: ring})
-	got := runResult(t, Spec{TracePath: path})
+	want := runResult(t, Spec{Workload: Workload{Schedule: ring}})
+	got := runResult(t, Spec{Workload: Workload{TracePath: path}})
 	if !reflect.DeepEqual(got, want) {
 		t.Fatal("extension-resolved run diverged")
 	}
@@ -210,26 +210,26 @@ func TestFrontendErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, err := Run(context.Background(), Spec{Trace: bin.Bytes(), Frontend: "nope"}); err == nil ||
+	if _, err := Run(context.Background(), Spec{Workload: Workload{Trace: bin.Bytes(), Frontend: "nope"}}); err == nil ||
 		!strings.Contains(err.Error(), "unknown frontend") || !strings.Contains(err.Error(), "nsys") {
 		t.Fatalf("unknown frontend error should list the registry, got %v", err)
 	}
-	if _, err := Run(context.Background(), Spec{Trace: []byte("total garbage, no format")}); err == nil ||
+	if _, err := Run(context.Background(), Spec{Workload: Workload{Trace: []byte("total garbage, no format")}}); err == nil ||
 		!strings.Contains(err.Error(), "cannot detect trace format") {
 		t.Fatalf("undetectable trace should error, got %v", err)
 	}
 	// Config of the wrong type is a mismatch, not a silent default.
-	if _, err := Run(context.Background(), Spec{Trace: bin.Bytes(), Frontend: "nsys", FrontendConfig: LGSConfig{}}); err == nil ||
+	if _, err := Run(context.Background(), Spec{Workload: Workload{Trace: bin.Bytes(), Frontend: "nsys", FrontendConfig: LGSConfig{}}}); err == nil ||
 		!strings.Contains(err.Error(), "config") {
 		t.Fatalf("config mismatch should error, got %v", err)
 	}
 	// Frontend fields without a trace workload are a spec error.
-	if _, err := Run(context.Background(), Spec{Schedule: ring, Frontend: "goal"}); err == nil ||
+	if _, err := Run(context.Background(), Spec{Workload: Workload{Schedule: ring, Frontend: "goal"}}); err == nil ||
 		!strings.Contains(err.Error(), "only meaningful with") {
 		t.Fatalf("frontend without trace should error, got %v", err)
 	}
 	// The goal frontend takes no config at all.
-	if _, err := Run(context.Background(), Spec{Trace: bin.Bytes(), FrontendConfig: struct{}{}}); err == nil {
+	if _, err := Run(context.Background(), Spec{Workload: Workload{Trace: bin.Bytes(), FrontendConfig: struct{}{}}}); err == nil {
 		t.Fatal("goal frontend with config should error")
 	}
 }

@@ -59,11 +59,9 @@ func TestGoldenLGSSerial(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := Run(context.Background(), Spec{
-				Schedule: s,
-				Backend:  "lgs",
-				Config:   LGSConfig{Params: params},
-			})
+			got, err := Run(context.Background(), Spec{Workload: Workload{Schedule: s},
+				Backend: "lgs",
+				Config:  LGSConfig{Params: params}})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -84,11 +82,9 @@ func TestGoldenLGSParallel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := Run(context.Background(), Spec{
-			Schedule: s,
-			Backend:  "lgs",
-			Workers:  4,
-		})
+		got, err := Run(context.Background(), Spec{Workload: Workload{Schedule: s},
+			Backend: "lgs",
+			Workers: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,11 +111,9 @@ func TestGoldenPkt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Run(context.Background(), Spec{
-		Schedule: s,
-		Backend:  "pkt",
-		Config:   PktConfig{HostsPerToR: 4, Oversub: 1, CC: "mprdma", Seed: 3},
-	})
+	got, err := Run(context.Background(), Spec{Workload: Workload{Schedule: s},
+		Backend: "pkt",
+		Config:  PktConfig{HostsPerToR: 4, Oversub: 1, CC: "mprdma", Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,17 +142,15 @@ func TestGoldenFluid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Run(context.Background(), Spec{
-		Schedule: s,
-		Backend:  "fluid",
+	got, err := Run(context.Background(), Spec{Workload: Workload{Schedule: s},
+		Backend: "fluid",
 		Config: FluidConfig{
 			HostsPerToR: 4,
 			Oversub:     1,
 			Overhead:    1500,
 			JitterFrac:  0.03,
 			Seed:        6,
-		},
-	})
+		}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"atlahs/internal/workload/synth"
+	"atlahs/results"
+)
+
+// WorkloadModel is a statistical workload model (schema atlahs.model/v1):
+// per-rank message-count, message-size and compute distributions mined
+// from a resolved schedule, sampled back into schedules at arbitrary rank
+// counts. The concrete type lives in atlahs/results alongside the other
+// wire schemas.
+type WorkloadModel = results.WorkloadModel
+
+// MineModel extracts a statistical workload model from a resolved
+// schedule (any source: a converted trace, a loaded GOAL file, a
+// generated pattern). The comment is stored as provenance.
+func MineModel(s *Schedule, comment string) (*WorkloadModel, error) {
+	return synth.Mine(s, comment)
+}
+
+// EncodeModel writes a model as one canonical atlahs.model/v1 JSON
+// document.
+func EncodeModel(w io.Writer, m *WorkloadModel) error {
+	return results.EncodeModelJSON(w, m)
+}
+
+// DecodeModel reads one atlahs.model/v1 JSON document.
+func DecodeModel(r io.Reader) (*WorkloadModel, error) {
+	return results.DecodeModelJSON(r)
+}
+
+// GenerateFromModel samples a model into a schedule with the given rank
+// count (ranks <= 0 means the model's source rank count) through the
+// registered model generator. Deterministic: the same (model, ranks,
+// seed) always yields a bit-identical schedule.
+func GenerateFromModel(m *WorkloadModel, ranks int, seed uint64) (*Schedule, error) {
+	def, ok := LookupGenerator(modelGeneratorName)
+	if !ok {
+		return nil, fmt.Errorf("sim: no %q generator registered", modelGeneratorName)
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return def.New(GenRequest{Model: m, Ranks: ranks, Seed: seed})
+}

@@ -61,12 +61,10 @@ func TestObserverEventOrdering(t *testing.T) {
 	s := micro.BulkSynchronous(8, 4, 16384, 1500)
 	for _, workers := range []int{1, 4} {
 		obs := &orderingObserver{}
-		res, err := Run(context.Background(), Spec{
-			Schedule:      s,
+		res, err := Run(context.Background(), Spec{Workload: Workload{Schedule: s},
 			Workers:       workers,
 			Observer:      obs,
-			ProgressEvery: 7,
-		})
+			ProgressEvery: 7})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

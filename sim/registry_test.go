@@ -87,10 +87,8 @@ func TestRegisterRejectsBadDefinitions(t *testing.T) {
 }
 
 func TestRunUnknownBackend(t *testing.T) {
-	_, err := Run(context.Background(), Spec{
-		Schedule: micro.Ring(2, 1024),
-		Backend:  "no-such-simulator",
-	})
+	_, err := Run(context.Background(), Spec{Workload: Workload{Schedule: micro.Ring(2, 1024)},
+		Backend: "no-such-simulator"})
 	if err == nil {
 		t.Fatal("expected unknown-backend error")
 	}
@@ -108,11 +106,9 @@ func TestRunConfigTypeMismatch(t *testing.T) {
 		{"pkt", LGSConfig{}},
 		{"fluid", "not even a struct"},
 	} {
-		_, err := Run(context.Background(), Spec{
-			Schedule: micro.Ring(2, 1024),
-			Backend:  c.backend,
-			Config:   c.cfg,
-		})
+		_, err := Run(context.Background(), Spec{Workload: Workload{Schedule: micro.Ring(2, 1024)},
+			Backend: c.backend,
+			Config:  c.cfg})
 		if err == nil {
 			t.Fatalf("%s with %T config: expected mismatch error", c.backend, c.cfg)
 		}
@@ -146,10 +142,8 @@ func TestThirdPartyBackendRuns(t *testing.T) {
 			return &instantBackend{}, nil
 		},
 	})
-	res, err := Run(context.Background(), Spec{
-		Schedule: micro.Ring(4, 1024),
-		Backend:  "instant-test",
-	})
+	res, err := Run(context.Background(), Spec{Workload: Workload{Schedule: micro.Ring(4, 1024)},
+		Backend: "instant-test"})
 	if err != nil {
 		t.Fatal(err)
 	}

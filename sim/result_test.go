@@ -8,10 +8,8 @@ import (
 
 // resultSpec builds a small multi-rank workload every backend can run.
 func resultSpec(backendName string) Spec {
-	return Spec{
-		Synthetic: &Synthetic{Pattern: "alltoall", Ranks: 8, Bytes: 4096},
-		Backend:   backendName,
-	}
+	return Spec{Workload: Workload{Synthetic: &Synthetic{Pattern: "alltoall", Ranks: 8, Bytes: 4096}},
+		Backend: backendName}
 }
 
 // TestResultPopulationPerBackend: every built-in backend must return a
@@ -70,11 +68,9 @@ func TestResultPopulationPerBackend(t *testing.T) {
 // tallies — with only the engine metadata differing.
 func TestResultTalliesSerialVsParallel(t *testing.T) {
 	mk := func(workers int) Spec {
-		return Spec{
-			Synthetic: &Synthetic{Pattern: "bsp", Ranks: 16, Bytes: 65536, Phases: 5, CalcNanos: 2000},
-			Backend:   "lgs",
-			Workers:   workers,
-		}
+		return Spec{Workload: Workload{Synthetic: &Synthetic{Pattern: "bsp", Ranks: 16, Bytes: 65536, Phases: 5, CalcNanos: 2000}},
+			Backend: "lgs",
+			Workers: workers}
 	}
 	serial, err := Run(context.Background(), mk(1))
 	if err != nil {

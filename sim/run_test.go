@@ -18,10 +18,7 @@ func TestSpecRequiresExactlyOneWorkload(t *testing.T) {
 		!strings.Contains(err.Error(), "no workload") {
 		t.Fatalf("empty spec: %v", err)
 	}
-	_, err := Run(context.Background(), Spec{
-		Schedule:  micro.Ring(2, 64),
-		Synthetic: &Synthetic{Pattern: "ring", Ranks: 2, Bytes: 64},
-	})
+	_, err := Run(context.Background(), Spec{Workload: Workload{Schedule: micro.Ring(2, 64), Synthetic: &Synthetic{Pattern: "ring", Ranks: 2, Bytes: 64}}})
 	if err == nil || !strings.Contains(err.Error(), "exactly one") {
 		t.Fatalf("two sources: %v", err)
 	}
@@ -44,15 +41,15 @@ func TestWorkloadSourcesAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	want, err := Run(context.Background(), Spec{Schedule: s})
+	want, err := Run(context.Background(), Spec{Workload: Workload{Schedule: s}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for name, spec := range map[string]Spec{
-		"goal-bytes-binary": {GoalBytes: bin.Bytes()},
-		"goal-bytes-text":   {GoalBytes: txt.Bytes()},
-		"goal-path":         {GoalPath: binPath},
-		"synthetic":         {Synthetic: &Synthetic{Pattern: "ring", Ranks: 8, Bytes: 4096}},
+		"goal-bytes-binary": {Workload: Workload{GoalBytes: bin.Bytes()}},
+		"goal-bytes-text":   {Workload: Workload{GoalBytes: txt.Bytes()}},
+		"goal-path":         {Workload: Workload{GoalPath: binPath}},
+		"synthetic":         {Workload: Workload{Synthetic: &Synthetic{Pattern: "ring", Ranks: 8, Bytes: 4096}}},
 	} {
 		got, err := Run(context.Background(), spec)
 		if err != nil {
@@ -66,10 +63,8 @@ func TestWorkloadSourcesAgree(t *testing.T) {
 
 func TestSyntheticPatterns(t *testing.T) {
 	for _, pattern := range SyntheticPatterns() {
-		res, err := Run(context.Background(), Spec{
-			Synthetic: &Synthetic{Pattern: pattern, Ranks: 6, Bytes: 1024},
-			Seed:      9,
-		})
+		res, err := Run(context.Background(), Spec{Workload: Workload{Synthetic: &Synthetic{Pattern: pattern, Ranks: 6, Bytes: 1024}},
+			Seed: 9})
 		if err != nil {
 			t.Fatalf("%s: %v", pattern, err)
 		}
@@ -77,20 +72,16 @@ func TestSyntheticPatterns(t *testing.T) {
 			t.Fatalf("%s: no ops executed", pattern)
 		}
 	}
-	if _, err := Run(context.Background(), Spec{
-		Synthetic: &Synthetic{Pattern: "nope", Ranks: 4},
-	}); err == nil || !strings.Contains(err.Error(), "nope") {
+	if _, err := Run(context.Background(), Spec{Workload: Workload{Synthetic: &Synthetic{Pattern: "nope", Ranks: 4}}}); err == nil || !strings.Contains(err.Error(), "nope") {
 		t.Fatalf("unknown pattern: %v", err)
 	}
 }
 
 func TestWorkersRejectedForSharedFabricBackends(t *testing.T) {
 	for _, name := range []string{"pkt", "fluid"} {
-		_, err := Run(context.Background(), Spec{
-			Schedule: micro.Ring(4, 1024),
-			Backend:  name,
-			Workers:  4,
-		})
+		_, err := Run(context.Background(), Spec{Workload: Workload{Schedule: micro.Ring(4, 1024)},
+			Backend: name,
+			Workers: 4})
 		if err == nil {
 			t.Fatalf("%s with Workers=4: expected rejection, not a silent serial fallback", name)
 		}
@@ -101,11 +92,9 @@ func TestWorkersRejectedForSharedFabricBackends(t *testing.T) {
 }
 
 func TestOversubscriptionBeyondToRRadixErrors(t *testing.T) {
-	_, err := Run(context.Background(), Spec{
-		Schedule: micro.Ring(4, 1024),
-		Backend:  "pkt",
-		Config:   PktConfig{HostsPerToR: 4, Oversub: 8},
-	})
+	_, err := Run(context.Background(), Spec{Workload: Workload{Schedule: micro.Ring(4, 1024)},
+		Backend: "pkt",
+		Config:  PktConfig{HostsPerToR: 4, Oversub: 8}})
 	if err == nil || !strings.Contains(err.Error(), "oversubscription") {
 		t.Fatalf("oversub 8 with 4 hosts/ToR: %v, want an oversubscription error, not a clamp", err)
 	}
@@ -145,12 +134,10 @@ func (r *recordingObserver) NetStats(ns NetStats) {
 func TestObserverStreamsRun(t *testing.T) {
 	s := micro.AllToAll(8, 4096)
 	obs := &recordingObserver{}
-	res, err := Run(context.Background(), Spec{
-		Schedule:      s,
+	res, err := Run(context.Background(), Spec{Workload: Workload{Schedule: s},
 		Backend:       "pkt",
 		Observer:      obs,
-		ProgressEvery: 10,
-	})
+		ProgressEvery: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,15 +178,14 @@ func TestObserverStreamsRun(t *testing.T) {
 // be bit-identical.
 func TestObserverDoesNotPerturbResult(t *testing.T) {
 	s := micro.BulkSynchronous(8, 4, 16384, 1500)
-	plain, err := Run(context.Background(), Spec{Schedule: s, Workers: 4})
+	plain, err := Run(context.Background(), Spec{Workload: Workload{Schedule: s},
+		Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	observed, err := Run(context.Background(), Spec{
-		Schedule: s,
+	observed, err := Run(context.Background(), Spec{Workload: Workload{Schedule: s},
 		Workers:  4,
-		Observer: &recordingObserver{},
-	})
+		Observer: &recordingObserver{}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +198,7 @@ func TestObserverDoesNotPerturbResult(t *testing.T) {
 func TestRunHonoursCancelledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := Run(ctx, Spec{Schedule: micro.Ring(4, 1024)})
+	_, err := Run(ctx, Spec{Workload: Workload{Schedule: micro.Ring(4, 1024)}})
 	if err != context.Canceled {
 		t.Fatalf("pre-cancelled ctx: %v, want context.Canceled", err)
 	}
@@ -242,10 +228,8 @@ func TestRunCancelsMidSimulation(t *testing.T) {
 	s := micro.AllToAll(64, 1024)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	_, err := Run(ctx, Spec{
-		Schedule: s,
-		Observer: &cancelAfter{n: 100, cancel: cancel},
-	})
+	_, err := Run(ctx, Spec{Workload: Workload{Schedule: s},
+		Observer: &cancelAfter{n: 100, cancel: cancel}})
 	if err != context.Canceled {
 		t.Fatalf("mid-run cancel: %v, want context.Canceled", err)
 	}

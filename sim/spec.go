@@ -8,43 +8,16 @@ import (
 	"strings"
 
 	"atlahs/internal/goal"
-	"atlahs/internal/trace/frontend"
-	"atlahs/internal/workload/micro"
 )
 
 // Spec declares one simulation run. Exactly one workload source must be
 // set; everything else has usable zero values. A zero Spec with a workload
 // runs that schedule serially on the "lgs" backend with default parameters.
 type Spec struct {
-	// GoalPath names a GOAL schedule file, textual or binary (auto-detected
-	// by the GOALB1 magic).
-	GoalPath string
-	// GoalBytes holds a serialised GOAL schedule, textual or binary
-	// (auto-detected).
-	GoalBytes []byte
-	// Schedule is an in-memory GOAL schedule (e.g. from sim.NewBuilder or a
-	// trace converter).
-	Schedule *Schedule
-	// Synthetic generates a microbenchmark traffic pattern.
-	Synthetic *Synthetic
-	// TracePath names a raw application trace file (nsys report, MPI
-	// trace, SPC block-I/O trace, Chakra ET, or a GOAL file) to ingest
-	// through the frontend registry. The format is auto-detected unless
-	// Frontend names one explicitly.
-	TracePath string
-	// Trace holds a raw serialised application trace to ingest through the
-	// frontend registry; see TracePath.
-	Trace []byte
-	// Frontend names the registered workload frontend converting TracePath
-	// or Trace ("nsys", "mpi", "spc", "chakra", "goal", or a third-party
-	// registration); "" auto-detects by content sniffing, then by file
-	// extension.
-	Frontend string
-	// FrontendConfig is the frontend's typed configuration (e.g.
-	// NsysConfig, MPIConfig, SPCConfig, ChakraConfig, or a third-party
-	// frontend's own type). nil selects that frontend's defaults; a value
-	// of the wrong type is an error, not a silent default.
-	FrontendConfig any
+	// Workload declares the run's workload source (GoalPath, GoalBytes,
+	// Schedule, Synthetic, TracePath, Trace, Model or ModelPath). The
+	// fields are embedded, so they read and write as Spec's own.
+	Workload
 
 	// Jobs composes several independently-sourced workloads onto one
 	// fabric (the paper's multi-job scenarios, §3.2): each job's schedule
@@ -100,10 +73,12 @@ type resolvedWorkload struct {
 	jobNodes [][]int
 }
 
-// Synthetic declares a generated traffic pattern (internal/workload/micro).
+// Synthetic declares a generated traffic pattern, resolved by name
+// through the generator registry (RegisterGenerator; the built-in
+// patterns live in internal/workload/micro).
 type Synthetic struct {
-	// Pattern is one of "ring", "alltoall", "incast", "permutation",
-	// "uniform" or "bsp".
+	// Pattern names a registered generator: "ring", "alltoall", "incast",
+	// "permutation", "uniform", "bsp", or a third-party registration.
 	Pattern string
 	// Ranks is the number of participating ranks.
 	Ranks int
@@ -121,27 +96,22 @@ type Synthetic struct {
 	Seed uint64
 }
 
-// SyntheticPatterns lists the generator names Synthetic understands.
-func SyntheticPatterns() []string {
-	return []string{"ring", "alltoall", "incast", "permutation", "uniform", "bsp"}
-}
-
 // validate checks the pattern declaration without generating anything.
 func (sy *Synthetic) validate() error {
 	if sy.Ranks <= 0 {
 		return fmt.Errorf("sim: synthetic workload needs Ranks > 0, got %d", sy.Ranks)
 	}
-	switch sy.Pattern {
-	case "ring", "alltoall", "incast", "permutation", "uniform", "bsp":
-		return nil
-	}
-	return fmt.Errorf("sim: unknown synthetic pattern %q (want one of %s)",
-		sy.Pattern, strings.Join(SyntheticPatterns(), ", "))
+	_, err := patternGenerator(sy.Pattern)
+	return err
 }
 
-// generate builds the schedule for the pattern.
+// generate builds the schedule for the pattern through the registry.
 func (sy *Synthetic) generate(topSeed uint64) (*goal.Schedule, error) {
 	if err := sy.validate(); err != nil {
+		return nil, err
+	}
+	def, err := patternGenerator(sy.Pattern)
+	if err != nil {
 		return nil, err
 	}
 	seed := sy.Seed
@@ -151,145 +121,14 @@ func (sy *Synthetic) generate(topSeed uint64) (*goal.Schedule, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	switch sy.Pattern {
-	case "ring":
-		return micro.Ring(sy.Ranks, sy.Bytes), nil
-	case "alltoall":
-		return micro.AllToAll(sy.Ranks, sy.Bytes), nil
-	case "incast":
-		fanin := sy.Fanin
-		if fanin <= 0 {
-			fanin = sy.Ranks - 1
-		}
-		return micro.Incast(sy.Ranks, fanin, sy.Bytes), nil
-	case "permutation":
-		return micro.Permutation(sy.Ranks, sy.Bytes, seed), nil
-	case "uniform":
-		msgs := sy.Msgs
-		if msgs <= 0 {
-			msgs = 100
-		}
-		return micro.UniformRandom(sy.Ranks, msgs, sy.Bytes, seed), nil
-	case "bsp":
-		phases := sy.Phases
-		if phases <= 0 {
-			phases = 4
-		}
-		calc := sy.CalcNanos
-		if calc <= 0 {
-			calc = 1000
-		}
-		return micro.BulkSynchronous(sy.Ranks, phases, sy.Bytes, calc), nil
-	}
-	return nil, fmt.Errorf("sim: unknown synthetic pattern %q (want one of %s)",
-		sy.Pattern, strings.Join(SyntheticPatterns(), ", "))
+	return def.New(GenRequest{Synthetic: *sy, Ranks: sy.Ranks, Seed: seed})
 }
 
 // JobSpec declares one composed job's workload for Spec.Jobs. Exactly one
-// source must be set per job; the fields mirror Spec's single-workload
-// sources.
+// source must be set per job; the embedded Workload carries the same
+// fields as Spec's single-workload sources.
 type JobSpec struct {
-	// GoalPath names a GOAL schedule file, textual or binary.
-	GoalPath string
-	// GoalBytes holds a serialised GOAL schedule.
-	GoalBytes []byte
-	// Schedule is an in-memory GOAL schedule.
-	Schedule *Schedule
-	// Synthetic generates a microbenchmark traffic pattern (its zero Seed
-	// inherits Spec.Seed).
-	Synthetic *Synthetic
-	// TracePath names a raw application trace file ingested through the
-	// frontend registry.
-	TracePath string
-	// Trace holds a raw serialised application trace.
-	Trace []byte
-	// Frontend names the workload frontend for TracePath/Trace; "" auto-
-	// detects.
-	Frontend string
-	// FrontendConfig is the frontend's typed configuration; nil selects
-	// defaults.
-	FrontendConfig any
-}
-
-// sources counts the job's workload sources.
-func (j *JobSpec) sources() int {
-	n := 0
-	if j.GoalPath != "" {
-		n++
-	}
-	if len(j.GoalBytes) > 0 {
-		n++
-	}
-	if j.Schedule != nil {
-		n++
-	}
-	if j.Synthetic != nil {
-		n++
-	}
-	if j.TracePath != "" {
-		n++
-	}
-	if len(j.Trace) > 0 {
-		n++
-	}
-	return n
-}
-
-// validate checks the job's workload declaration without touching the
-// filesystem: exactly one source, frontend fields only alongside a trace
-// source, a resolvable frontend name, and synthetic parameters in range.
-func (j *JobSpec) validate() error {
-	switch n := j.sources(); n {
-	case 0:
-		return fmt.Errorf("sim: no workload; set one of GoalPath, GoalBytes, Schedule, Synthetic, TracePath or Trace")
-	case 1:
-	default:
-		return fmt.Errorf("sim: %d workload sources; set exactly one of GoalPath, GoalBytes, Schedule, Synthetic, TracePath or Trace", n)
-	}
-	if (j.Frontend != "" || j.FrontendConfig != nil) && j.TracePath == "" && len(j.Trace) == 0 {
-		return fmt.Errorf("sim: Frontend/FrontendConfig are only meaningful with a TracePath or Trace workload")
-	}
-	if j.Frontend != "" {
-		if _, ok := frontend.Lookup(j.Frontend); !ok {
-			return fmt.Errorf("sim: unknown frontend %q (registered: %s)", j.Frontend, strings.Join(frontend.Names(), ", "))
-		}
-	}
-	if j.Synthetic != nil {
-		return j.Synthetic.validate()
-	}
-	return nil
-}
-
-// schedule resolves one job's workload source into a GOAL schedule.
-func (j *JobSpec) schedule(topSeed uint64) (*goal.Schedule, error) {
-	if err := j.validate(); err != nil {
-		return nil, err
-	}
-	switch {
-	case j.GoalPath != "":
-		return LoadGOAL(j.GoalPath)
-	case len(j.GoalBytes) > 0:
-		return DecodeGOAL(j.GoalBytes)
-	case j.Schedule != nil:
-		return j.Schedule, nil
-	case j.Synthetic != nil:
-		return j.Synthetic.generate(topSeed)
-	case j.TracePath != "":
-		return ConvertTraceFile(j.TracePath, j.Frontend, j.FrontendConfig)
-	default:
-		return ConvertTrace(j.Trace, j.Frontend, j.FrontendConfig)
-	}
-}
-
-// single gathers the Spec's top-level workload fields as one JobSpec, the
-// unit both validation and resolution work on.
-func (sp *Spec) single() JobSpec {
-	return JobSpec{
-		GoalPath: sp.GoalPath, GoalBytes: sp.GoalBytes,
-		Schedule: sp.Schedule, Synthetic: sp.Synthetic,
-		TracePath: sp.TracePath, Trace: sp.Trace,
-		Frontend: sp.Frontend, FrontendConfig: sp.FrontendConfig,
-	}
+	Workload
 }
 
 // Validate checks the spec's declarative shape without touching the
@@ -304,16 +143,15 @@ func (sp *Spec) single() JobSpec {
 // does not exist, a malformed trace, or a backend config the factory
 // rejects still surface from Run.
 func (sp *Spec) Validate() error {
-	single := sp.single()
 	if len(sp.Jobs) == 0 {
 		if sp.Placement != "" {
 			return fmt.Errorf("sim: Placement %q is only meaningful with Jobs", sp.Placement)
 		}
-		if err := single.validate(); err != nil {
+		if err := sp.Workload.validate(); err != nil {
 			return err
 		}
 	} else {
-		if n := single.sources(); n > 0 {
+		if n := sp.Workload.sources(); n > 0 {
 			return fmt.Errorf("sim: spec sets both Jobs and %d top-level workload source(s); use one or the other", n)
 		}
 		if _, err := placementPolicy(sp.Placement); err != nil {
@@ -354,8 +192,7 @@ func (sp *Spec) resolve() (*goal.Schedule, [][]int, error) {
 		return sp.resolved.sched, sp.resolved.jobNodes, nil
 	}
 	if len(sp.Jobs) == 0 {
-		single := sp.single()
-		s, err := single.schedule(sp.Seed)
+		s, err := sp.Workload.schedule(sp.Seed)
 		return s, nil, err
 	}
 	policy, err := placementPolicy(sp.Placement)
