@@ -14,6 +14,12 @@
 //
 // Flags: [-backend lgs|pkt|fluid] [-params ai|hpc] [-hosts-per-tor 4]
 // [-oversub 1] [-cc mprdma] [-seed 1] [-workers 1] [-progress 0] [-json]
+// [-cpuprofile FILE] [-memprofile FILE]
+//
+// -cpuprofile writes a CPU profile of the whole invocation and
+// -memprofile a heap profile at exit (after a final GC), both in the
+// format `go tool pprof` reads — so profiling a simulation needs no
+// patched binary. Profiles are flushed on error exits too.
 //
 // -goal takes a GOAL file, textual or binary (auto-detected). -trace takes
 // a raw application trace (nsys report, MPI trace, SPC block-I/O trace,
@@ -56,8 +62,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"atlahs/internal/service"
@@ -83,10 +92,17 @@ func main() {
 	jobs := flag.Int("jobs", 2, "concurrent simulations in -serve mode")
 	submitURL := flag.String("submit", "", "submit the spec to a running atlahsd/-serve server at this base URL")
 	sweepMode := flag.Bool("sweep", false, "with -submit: batch-submit the spec files given as positional arguments as one sweep")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of this invocation to FILE (go tool pprof format)")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to FILE (go tool pprof format)")
 	flag.Parse()
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if err := startProfiling(*cpuprofile, *memprofile); err != nil {
+		fail(err)
+	}
+	defer profileStop()
 
 	if *serveAddr != "" {
 		for _, name := range []string{"goal", "trace", "spec", "submit", "sweep", "json", "frontend"} {
@@ -467,7 +483,56 @@ func (consoleObserver) NetStats(ns sim.NetStats) {
 		ns.PktsSent, ns.Drops, ns.Trims, ns.Retransmits)
 }
 
+// profileStop flushes any active profiles; fail() and the end of main
+// both run it (it is idempotent) so profiles survive error exits, which
+// bypass deferred calls via os.Exit.
+var profileStop = func() {}
+
+// startProfiling begins a CPU profile and/or arranges a heap profile at
+// exit. It returns an error instead of exiting so the caller's fail path
+// — which flushes profiles — stays usable.
+func startProfiling(cpuPath, memPath string) error {
+	if cpuPath == "" && memPath == "" {
+		return nil
+	}
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		cpuFile = f
+	}
+	var once sync.Once
+	profileStop = func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "atlahs: memprofile:", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC() // settle the live set so the profile shows retained memory
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "atlahs: memprofile:", err)
+				}
+			}
+		})
+	}
+	return nil
+}
+
 func fail(err error) {
+	profileStop()
 	fmt.Fprintln(os.Stderr, "atlahs:", err)
 	os.Exit(1)
 }

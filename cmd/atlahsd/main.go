@@ -6,7 +6,7 @@
 // Usage:
 //
 //	atlahsd [-addr :8080] [-jobs 2] [-workers 0] [-queue 64] [-cache 256]
-//	        [-artifacts DIR]
+//	        [-artifacts DIR] [-pprof ADDR]
 //
 // API (see internal/service):
 //
@@ -39,6 +39,11 @@
 // partial artifacts are skipped with a logged warning).
 // SIGINT/SIGTERM shut the server down gracefully.
 //
+// -pprof ADDR (off by default) serves net/http/pprof on a second,
+// separate listener — profile a live server with e.g.
+// `go tool pprof http://localhost:6060/debug/pprof/profile?seconds=30`
+// without exposing the profiling endpoints on the API address.
+//
 // Submit a spec from the shell:
 //
 //	echo '{"schema":"atlahs.spec/v1","synthetic":{"pattern":"alltoall",
@@ -51,6 +56,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux, served only on -pprof
 	"os"
 
 	"atlahs/internal/service"
@@ -63,7 +70,19 @@ func main() {
 	queue := flag.Int("queue", 64, "submission backlog bound")
 	cache := flag.Int("cache", 256, "completed runs kept addressable")
 	artifacts := flag.String("artifacts", "", "directory to persist per-run result artifacts (optional)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; off when empty)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The API listener uses its own mux (service.ListenAndServe), so
+		// the pprof handlers on the DefaultServeMux are reachable only
+		// through this dedicated listener.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "atlahsd: pprof listener:", err)
+			}
+		}()
+	}
 
 	svc, err := service.New(service.Config{
 		Queue:       *queue,

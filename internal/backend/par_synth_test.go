@@ -1,0 +1,78 @@
+package backend
+
+import (
+	"fmt"
+	"testing"
+
+	"atlahs/internal/engine"
+	"atlahs/internal/sched"
+	"atlahs/internal/workload/micro"
+	"atlahs/internal/workload/synth"
+)
+
+// TestParallelSynth1024RanksMatchesSerial pins the adaptive-window engine
+// at scale: a statistical model mined from a small seeded workload is
+// regenerated at 1024 ranks (the PR 8 synthesis path), then simulated
+// serially and in parallel at 1, 2, 4 and 8 workers, in both windowing
+// modes — every run must be bit-identical.
+func TestParallelSynth1024RanksMatchesSerial(t *testing.T) {
+	model, err := synth.Mine(micro.UniformRandom(8, 24, 2048, 5), "par-equivalence seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := synth.Generate(model, 1024, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NumRanks(); got != 1024 {
+		t.Fatalf("generated %d ranks, want 1024", got)
+	}
+	t.Logf("synth workload: %d ops across %d ranks", s.ComputeStats().Ops, s.NumRanks())
+
+	serial, err := sched.Run(engine.New(), s, NewLGS(AIParams()), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, adaptive := range []bool{true, false} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			eng := engine.NewParallel(s.NumRanks(), workers, NewLGS(AIParams()).Lookahead())
+			eng.SetAdaptive(adaptive)
+			par, err := sched.Run(eng, s, NewLGS(AIParams()), sched.Options{})
+			if err != nil {
+				t.Fatalf("adaptive=%v workers=%d: %v", adaptive, workers, err)
+			}
+			sameResult(t, fmt.Sprintf("adaptive=%v workers=%d", adaptive, workers), par, serial)
+			if par.Events != serial.Events {
+				t.Fatalf("adaptive=%v workers=%d: %d events, serial %d", adaptive, workers, par.Events, serial.Events)
+			}
+		}
+	}
+}
+
+// TestParallelAdaptiveMatchesFixedOnLGS runs the full seeded workload
+// suite once more with fixed windows, pinning adaptive == fixed == serial
+// on real backend traffic (the lattice tests in internal/engine cover the
+// raw engine).
+func TestParallelAdaptiveMatchesFixedOnLGS(t *testing.T) {
+	for _, wl := range parWorkloads() {
+		wl := wl
+		t.Run(wl.name, func(t *testing.T) {
+			serial, err := sched.Run(engine.New(), wl.s, NewLGS(wl.params), sched.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 8} {
+				fixed := engine.NewParallel(wl.s.NumRanks(), workers, NewLGS(wl.params).Lookahead())
+				fixed.SetAdaptive(false)
+				res, err := sched.Run(fixed, wl.s, NewLGS(wl.params), sched.Options{})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				sameResult(t, fmt.Sprintf("fixed workers=%d", workers), res, serial)
+				if res.Events != serial.Events {
+					t.Fatalf("fixed workers=%d: %d events, serial %d", workers, res.Events, serial.Events)
+				}
+			}
+		})
+	}
+}

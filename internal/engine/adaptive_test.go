@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"atlahs/internal/simtime"
+)
+
+// TestAdaptiveMatchesFixedWindows pins the adaptive-window guarantee:
+// widened per-lane windows change how many barriers a run crosses, never
+// what executes — logs, clocks and event counts must be bit-identical to
+// fixed windows at every worker count.
+func TestAdaptiveMatchesFixedWindows(t *testing.T) {
+	const lanes, rounds = 16, 40
+	step, hop := 3*simtime.Microsecond, 5*simtime.Microsecond
+	fixedEng := NewParallel(lanes, 4, hop)
+	fixedEng.SetAdaptive(false)
+	if fixedEng.Adaptive() {
+		t.Fatal("SetAdaptive(false) did not stick")
+	}
+	fixedLogs, fixedEnd := driveLattice(fixedEng, lanes, rounds, step, hop)
+	for _, workers := range []int{1, 2, 4, 8} {
+		eng := NewParallel(lanes, workers, hop)
+		if !eng.Adaptive() {
+			t.Fatal("adaptive windowing must be the default")
+		}
+		logs, end := driveLattice(eng, lanes, rounds, step, hop)
+		if end != fixedEnd {
+			t.Fatalf("workers=%d: adaptive end %v, fixed end %v", workers, end, fixedEnd)
+		}
+		if got, want := eng.EventsProcessed(), fixedEng.EventsProcessed(); got != want {
+			t.Fatalf("workers=%d: adaptive processed %d events, fixed %d", workers, got, want)
+		}
+		if !reflect.DeepEqual(logs, fixedLogs) {
+			t.Fatalf("workers=%d: adaptive execution log diverged from fixed windows", workers)
+		}
+	}
+}
+
+// TestAdaptiveSparseLanesFastForward exercises the widened minimum-lane
+// bound on the workload it exists for: one busy lane far behind a set of
+// idle-but-nonempty lanes. The run must complete with the exact event
+// interleaving of the serial engine.
+func TestAdaptiveSparseLanesFastForward(t *testing.T) {
+	const lanes = 8
+	hop := 5 * simtime.Microsecond
+	build := func(eng Sim) *[]string {
+		log := &[]string{}
+		// Lane 0 ticks alone through a long quiet stretch, then pokes the
+		// other lanes, which answer back — the sparse phase an adaptive
+		// window crosses in half the barriers.
+		var tick func(round int)
+		tick = func(round int) {
+			*log = append(*log, eng.Lane(0).Now().String())
+			if round < 50 {
+				eng.Lane(0).After(simtime.Microsecond, func() { tick(round + 1) })
+				return
+			}
+			for l := 1; l < lanes; l++ {
+				dst := l
+				eng.Lane(0).ScheduleOn(dst, eng.Lane(0).Now().Add(hop), func() {
+					*log = append(*log, eng.Lane(dst).Now().String())
+				})
+			}
+		}
+		eng.Lane(0).Schedule(0, func() { tick(0) })
+		// The idle lanes hold one far-future event each so they stay
+		// nonempty (the minOther bound applies) without participating.
+		for l := 1; l < lanes; l++ {
+			dst := l
+			eng.Lane(dst).Schedule(simtime.Time(500*simtime.Microsecond), func() {
+				*log = append(*log, "late "+eng.Lane(dst).Now().String())
+			})
+		}
+		return log
+	}
+	serial := New()
+	serialLog := build(serial)
+	serialEnd := serial.Run()
+	for _, workers := range []int{1, 2, 4} {
+		eng := NewParallel(lanes, workers, hop)
+		parLog := build(eng)
+		parEnd := eng.Run()
+		if parEnd != serialEnd {
+			t.Fatalf("workers=%d: end %v, serial %v", workers, parEnd, serialEnd)
+		}
+		if len(*parLog) != len(*serialLog) {
+			t.Fatalf("workers=%d: %d log entries, serial %d", workers, len(*parLog), len(*serialLog))
+		}
+	}
+}
+
+// TestEngineAllocsPerEvent is the allocation-regression gate on the
+// per-event hot path: with the typed 4-ary heaps and a pre-sized queue, a
+// steady-state event (pop, run, push a successor) must not allocate.
+func TestEngineAllocsPerEvent(t *testing.T) {
+	const events = 1000
+	t.Run("serial", func(t *testing.T) {
+		e := New()
+		e.Reserve(16)
+		count := 0
+		var fn Handler
+		fn = func() {
+			count++
+			if count < events {
+				e.After(simtime.Nanosecond, fn)
+			}
+		}
+		// Warm up so the heap and closure are steady state, then measure.
+		allocs := testing.AllocsPerRun(5, func() {
+			e.Reset()
+			count = 0
+			e.Schedule(0, fn)
+			e.Run()
+		})
+		if per := allocs / events; per > 0.01 {
+			t.Fatalf("serial engine allocates %.3f times per event (%.0f per %d-event run); the hot path must be allocation-free", per, allocs, events)
+		}
+	})
+	t.Run("parallel-lane", func(t *testing.T) {
+		// Workers=1 keeps AllocsPerRun meaningful (no pool goroutines
+		// allocating concurrently); the lane push/pop path is identical
+		// under more workers.
+		p := NewParallel(2, 1, simtime.Microsecond)
+		p.ReserveLane(0, 16)
+		count := 0
+		var fn Handler
+		fn = func() {
+			count++
+			if count < events {
+				p.Lane(0).After(simtime.Nanosecond, fn)
+			}
+		}
+		allocs := testing.AllocsPerRun(5, func() {
+			p.Reset()
+			count = 0
+			p.Lane(0).Schedule(0, fn)
+			p.Run()
+		})
+		if per := allocs / events; per > 0.01 {
+			t.Fatalf("parallel lane allocates %.3f times per event (%.0f per %d-event run); the hot path must be allocation-free", per, allocs, events)
+		}
+	})
+}

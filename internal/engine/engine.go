@@ -1,7 +1,7 @@
 // Package engine implements the deterministic discrete-event core that
 // drives every ATLAHS simulation backend.
 //
-// The engine maintains a binary heap of pending events ordered by
+// The engine maintains a 4-ary min-heap of pending events ordered by
 // (timestamp, sequence number). Ties in timestamp are broken by insertion
 // order, which makes every simulation fully deterministic: identical inputs
 // produce identical event interleavings and therefore identical results.
@@ -10,7 +10,6 @@
 package engine
 
 import (
-	"container/heap"
 	"fmt"
 
 	"atlahs/internal/simtime"
@@ -60,24 +59,69 @@ type event struct {
 	fn  Handler
 }
 
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a typed 4-ary min-heap ordered by (at, seq), the same shape
+// as the parallel engine's peventHeap: no container/heap interface{}
+// boxing on push (which allocated on every Schedule) and half the tree
+// depth of a binary heap. Keys are unique — seq strictly increases — so
+// pop order is a total order and identical to the old container/heap
+// implementation.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) push(ev event) {
+	q := append(*h, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !q[i].before(q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
 	}
-	return h[i].seq < h[j].seq
+	*h = q
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return ev
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = event{}
+	q = q[:n]
+	*h = q
+	if n > 0 {
+		i := 0
+		for {
+			c := i*4 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if q[j].before(q[m]) {
+					m = j
+				}
+			}
+			if !q[m].before(last) {
+				break
+			}
+			q[i] = q[m]
+			i = m
+		}
+		q[i] = last
+	}
+	return top
 }
 
 // Engine is a single-threaded discrete-event simulator clock and queue.
@@ -110,7 +154,19 @@ func (e *Engine) Schedule(at simtime.Time, fn Handler) {
 		panic(fmt.Sprintf("engine: scheduling event at %v before now %v", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, event{at: at, seq: e.seq, fn: fn})
+	e.queue.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// Reserve pre-sizes the event queue for at least n pending events, saving
+// the incremental grow-and-copy cycles on schedules whose op count is
+// known up front. It never shrinks and is safe with events queued.
+func (e *Engine) Reserve(n int) {
+	if cap(e.queue) >= n {
+		return
+	}
+	q := make(eventHeap, len(e.queue), n)
+	copy(q, e.queue)
+	e.queue = q
 }
 
 // ScheduleOn implements Sim. The serial engine has a single event queue, so
@@ -138,7 +194,7 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run() simtime.Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(event)
+		ev := e.queue.pop()
 		e.now = ev.at
 		e.Processed++
 		ev.fn()
@@ -151,7 +207,7 @@ func (e *Engine) Run() simtime.Time {
 func (e *Engine) RunUntil(deadline simtime.Time) simtime.Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped && e.queue[0].at <= deadline {
-		ev := heap.Pop(&e.queue).(event)
+		ev := e.queue.pop()
 		e.now = ev.at
 		e.Processed++
 		ev.fn()

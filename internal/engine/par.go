@@ -12,20 +12,44 @@ import (
 // ParEngine is a conservative parallel discrete-event engine (the
 // parallelisation the ATLAHS paper applied to LogGOPSim, §5). Simulation
 // state is partitioned into lanes — one per GOAL rank — and time advances
-// in windows of width `lookahead`: because no cross-lane interaction can
+// in windows bounded by `lookahead`: because no cross-lane interaction can
 // take effect sooner than the model's minimum cross-rank delay (the
 // LogGOPS wire latency L), every lane can execute its events inside the
 // window [T, T+lookahead) independently. Worker goroutines process lanes
 // concurrently; cross-lane events produced during a window are buffered
 // per source lane and delivered at the window barrier.
 //
+// Adaptive windowing (the default; see SetAdaptive) widens each lane's
+// window to its individually provable bound instead of the uniform
+// T+lookahead. With h_i the lanes' earliest pending event times, la the
+// lookahead, and minOther_i the smallest head among the *other* non-empty
+// lanes, lane i may safely run to
+//
+//	end_i = min(minOther_i + la, h_i + 2·la)
+//
+// Soundness: a cross-lane event sent directly to lane i by some lane j is
+// stamped at ≥ h_j + la ≥ minOther_i + la ≥ end_i, and any chain of
+// reactions gains at least la per hop, so the earliest round trip back
+// into the window's minimum lane arrives at ≥ h_min + 2·la ≥ end_min
+// (execution is strictly before end, so arrival exactly at end is safe).
+// For every lane except the unique minimum this reduces to the classic
+// h_min + la window; the minimum lane — and in particular a lane running
+// alone, minOther = ∞ — fast-forwards through quiet stretches in 2·la
+// strides instead of la, halving the number of barriers on sparse phases.
+// The bound never changes *which* events a lane executes before any event
+// it could receive, only how many barriers separate them, so results are
+// bit-identical to fixed windows. Low-occupancy windows are additionally
+// batched onto fewer workers (and run inline on the coordinator when only
+// a handful of lanes are active) to keep the wakeup/barrier cost
+// proportional to the work available.
+//
 // Determinism: every event carries the key (at, schedAt, schedLane,
 // schedSeq), assigned at scheduling time from the scheduling lane's own
 // clock and counter. The key is a function of each lane's deterministic
-// execution history only — never of cross-lane goroutine interleaving — and
-// each lane executes its events in key order. The simulation therefore
-// evolves identically for any worker count; workers change wall-clock
-// time, nothing else.
+// execution history only — never of cross-lane goroutine interleaving or
+// window placement — and each lane executes its events in key order. The
+// simulation therefore evolves identically for any worker count and for
+// either windowing mode; workers change wall-clock time, nothing else.
 //
 // Relative to the serial Engine, which breaks same-timestamp ties by
 // global insertion order, execution is identical except in one corner:
@@ -41,6 +65,7 @@ type ParEngine struct {
 	lookahead simtime.Duration
 	lanes     []*lane
 	running   bool
+	adaptive  bool
 	stop      atomic.Bool
 	now       simtime.Time
 }
@@ -139,7 +164,13 @@ type lane struct {
 	seq       uint64
 	queue     peventHeap
 	processed uint64
-	out       []outEvent
+	// out buffers this lane's cross-lane events until the window barrier.
+	// It is truncated, never freed, so the outbox allocation is amortised
+	// across all windows of a run.
+	out []outEvent
+	// end is this window's per-lane execution bound, set by the
+	// coordinator before dispatch (see Run for the adaptive bound).
+	end simtime.Time
 }
 
 // NewParallel creates a parallel engine with `lanes` lanes advancing under
@@ -156,11 +187,37 @@ func NewParallel(lanes, workers int, lookahead simtime.Duration) *ParEngine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &ParEngine{workers: workers, lookahead: lookahead, lanes: make([]*lane, lanes)}
+	p := &ParEngine{workers: workers, lookahead: lookahead, adaptive: true, lanes: make([]*lane, lanes)}
 	for i := range p.lanes {
 		p.lanes[i] = &lane{id: i, eng: p}
 	}
 	return p
+}
+
+// SetAdaptive switches between adaptive per-lane windows (the default)
+// and classic uniform T+lookahead windows. Both modes produce
+// bit-identical results; fixed windows exist for paired benchmarking and
+// as a belt-and-braces escape hatch. Only valid outside Run.
+func (p *ParEngine) SetAdaptive(on bool) {
+	if p.running {
+		panic("engine: SetAdaptive during Run")
+	}
+	p.adaptive = on
+}
+
+// Adaptive reports whether adaptive windowing is enabled.
+func (p *ParEngine) Adaptive() bool { return p.adaptive }
+
+// ReserveLane pre-sizes one lane's event heap for at least n pending
+// events (see Engine.Reserve). Only valid outside Run.
+func (p *ParEngine) ReserveLane(ln, n int) {
+	l := p.lanes[ln]
+	if cap(l.queue) >= n {
+		return
+	}
+	q := make(peventHeap, len(l.queue), n)
+	copy(q, l.queue)
+	l.queue = q
 }
 
 // Lanes reports the number of lanes.
@@ -247,26 +304,60 @@ func (p *ParEngine) Run() simtime.Time {
 	for !p.stop.Load() {
 		// The window base is the earliest pending event anywhere; every
 		// event executed this window is >= T, so cross-lane events (>= its
-		// lane's now + lookahead) land at or beyond the window end.
-		var T simtime.Time
-		found := false
+		// lane's now + lookahead) land at or beyond the window end. The
+		// scan also tracks the second-smallest head (m2, counting
+		// duplicates of the minimum), which the adaptive bound needs.
+		var m1, m2 simtime.Time
+		nheads := 0
 		for _, l := range p.lanes {
-			if len(l.queue) > 0 && (!found || l.queue[0].at < T) {
-				T = l.queue[0].at
-				found = true
+			if len(l.queue) == 0 {
+				continue
 			}
+			h := l.queue[0].at
+			switch {
+			case nheads == 0:
+				m1 = h
+			case h < m1:
+				m2 = m1
+				m1 = h
+			case nheads == 1 || h < m2:
+				m2 = h
+			}
+			nheads++
 		}
-		if !found {
+		if nheads == 0 {
 			break
 		}
-		windowEnd := T.Add(p.lookahead)
+		windowEnd := m1.Add(p.lookahead)
+		// Adaptive bound for lanes at the minimum head: min(minOther +
+		// la, m1 + 2·la), where minOther is m2, or absent entirely when
+		// this is the only non-empty lane. With several lanes tied at the
+		// minimum, m2 == m1 and the bound collapses to the fixed window —
+		// no special casing needed. See the type comment for the
+		// soundness argument.
+		minEnd := windowEnd
+		if p.adaptive {
+			minEnd = m1.Add(2 * p.lookahead)
+			if nheads > 1 && m2.Add(p.lookahead) < minEnd {
+				minEnd = m2.Add(p.lookahead)
+			}
+		}
 		active = active[:0]
 		for _, l := range p.lanes {
-			if len(l.queue) > 0 && l.queue[0].at < windowEnd {
+			if len(l.queue) == 0 {
+				continue
+			}
+			h := l.queue[0].at
+			end := windowEnd
+			if h == m1 {
+				end = minEnd
+			}
+			if h < end {
+				l.end = end
 				active = append(active, l)
 			}
 		}
-		p.runWindow(pool, active, windowEnd)
+		p.runWindow(pool, active)
 		// Barrier: deliver buffered cross-lane events. Heap order is fully
 		// determined by the per-event keys, so delivery order is irrelevant.
 		for _, l := range p.lanes {
@@ -284,20 +375,34 @@ func (p *ParEngine) Run() simtime.Time {
 	return p.now
 }
 
-// runWindow executes every active lane up to (strictly before) end,
-// spreading lanes across the pool's persistent worker goroutines.
-func (p *ParEngine) runWindow(pool *winPool, active []*lane, end simtime.Time) {
+// batchLanes is the low-occupancy batching factor: a window wakes at most
+// one worker per batchLanes active lanes, so sparse windows (a handful of
+// lanes with work) pay for one or two channel wakeups instead of a full
+// complement, and a near-empty window runs inline on the coordinator with
+// no barrier at all. Purely an execution-strategy knob — per-lane event
+// order is fixed by the keys, so batching cannot affect results.
+const batchLanes = 4
+
+// runWindow executes every active lane up to (strictly before) its
+// per-lane end, spreading lanes across the pool's persistent worker
+// goroutines.
+func (p *ParEngine) runWindow(pool *winPool, active []*lane) {
 	nw := p.workers
 	if nw > len(active) {
 		nw = len(active)
 	}
+	if p.adaptive {
+		if batched := (len(active) + batchLanes - 1) / batchLanes; nw > batched {
+			nw = batched
+		}
+	}
 	if pool == nil || nw <= 1 {
 		for _, l := range active {
-			l.runTo(end)
+			l.runTo(l.end)
 		}
 		return
 	}
-	pool.dispatch(nw, active, end)
+	pool.dispatch(nw, active)
 }
 
 // winPool is the persistent window-execution pool: its goroutines live for
@@ -309,10 +414,10 @@ type winPool struct {
 	// jobs carries one wakeup token per participating worker per window;
 	// closing it retires the pool.
 	jobs chan struct{}
-	// active/end describe the current window; written by the coordinator
-	// before the wakeup sends and read by workers after receiving one.
+	// active describes the current window (each lane carries its own
+	// execution bound in lane.end); written by the coordinator before the
+	// wakeup sends and read by workers after receiving one.
 	active []*lane
-	end    simtime.Time
 	// next is the shared lane-stealing cursor.
 	next atomic.Int64
 	// wg is the window barrier.
@@ -353,15 +458,16 @@ func (wp *winPool) runShard() {
 		if i >= len(wp.active) {
 			return
 		}
-		wp.active[i].runTo(wp.end)
+		l := wp.active[i]
+		l.runTo(l.end)
 	}
 }
 
 // dispatch runs one window across nw workers and blocks until the barrier.
 // A worker panic is rethrown here, after the remaining workers finish, so
 // the engine's failure mode matches the old spawn-per-window behaviour.
-func (wp *winPool) dispatch(nw int, active []*lane, end simtime.Time) {
-	wp.active, wp.end = active, end
+func (wp *winPool) dispatch(nw int, active []*lane) {
+	wp.active = active
 	wp.next.Store(0)
 	wp.wg.Add(nw)
 	for w := 0; w < nw; w++ {

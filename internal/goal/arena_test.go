@@ -1,0 +1,150 @@
+package goal
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// arenaFixture builds a small schedule exercising every op attribute and
+// both dependency kinds.
+func arenaFixture() *Schedule {
+	b := NewBuilder(3)
+	r0 := b.Rank(0)
+	c := r0.Calc(100)
+	cc := r0.CalcOn(250, 2)
+	s1 := r0.Send(64, 1, 0)
+	s2 := r0.SendOn(300000, 2, 42, 1)
+	r0.Requires(s2, c, s1)
+	r0.IRequires(s2, cc)
+	r1 := b.Rank(1)
+	r1.Recv(64, 0, 0)
+	r2 := b.Rank(2)
+	rv := r2.RecvOn(300000, 0, 42, 3)
+	w := r2.Calc(7)
+	r2.Requires(w, rv)
+	return b.MustBuild()
+}
+
+func TestPackDepsSharesOneArena(t *testing.T) {
+	in := [][]int32{nil, {0}, nil, {1, 2}, {0, 1, 3}}
+	out := packDeps(in)
+	if !reflect.DeepEqual(out, [][]int32{nil, {0}, nil, {1, 2}, {0, 1, 3}}) {
+		t.Fatalf("packDeps changed values: %v", out)
+	}
+	// Views are capped: appending to one must not overwrite its neighbor.
+	grown := append(out[1], 99)
+	_ = grown
+	if out[3][0] != 1 {
+		t.Fatalf("append through view corrupted neighbor: %v", out[3])
+	}
+	// Mutating the input after packing must not affect the copy.
+	in[3][0] = 77
+	if out[3][0] != 1 {
+		t.Fatal("packDeps aliased its input")
+	}
+}
+
+func TestPackDepsEmpty(t *testing.T) {
+	if out := packDeps(nil); out == nil || len(out) != 0 {
+		t.Fatalf("packDeps(nil) = %#v, want empty non-nil", out)
+	}
+	out := packDeps([][]int32{nil, {}})
+	if len(out) != 2 || out[0] != nil || out[1] != nil {
+		t.Fatalf("empty lists must pack to nil views, got %#v", out)
+	}
+}
+
+func TestDepArenaViews(t *testing.T) {
+	var a depArena
+	a.reserve(3, 4)
+	a.push(1)
+	a.push(2)
+	a.endList()
+	a.endList() // empty list
+	a.push(3)
+	a.endList()
+	got := a.views()
+	want := [][]int32{{1, 2}, nil, {3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("views = %v, want %v", got, want)
+	}
+}
+
+func TestParseBinaryMatchesReadBinary(t *testing.T) {
+	s := arenaFixture()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	fromReader, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBytes, err := ParseBinary(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromReader, fromBytes) {
+		t.Fatalf("decoders disagree:\nReadBinary:  %+v\nParseBinary: %+v", fromReader, fromBytes)
+	}
+	if !reflect.DeepEqual(fromBytes.Ranks, s.Ranks) {
+		t.Fatalf("ParseBinary round trip changed the schedule:\nin:  %+v\nout: %+v", s.Ranks, fromBytes.Ranks)
+	}
+}
+
+func TestParseBinaryErrors(t *testing.T) {
+	s := arenaFixture()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "bad magic"},
+		{"text", []byte("num_ranks 1\n"), "bad magic"},
+		{"magic only", []byte("GOALB1\n"), "rank count"},
+		{"zero ranks", append([]byte("GOALB1\n"), 0), "implausible rank count"},
+		{"hostile rank count", append([]byte("GOALB1\n"), 0xe8, 0x07), "exceeds remaining input"}, // 1000 ranks, 0 bytes left
+		{"hostile op count", append([]byte("GOALB1\n"), 1, 0xff, 0xff, 0x7f), "exceeds remaining input"},
+		{"truncated", enc[:len(enc)-3], ""}, // any error is fine, must not panic
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseBinary(tc.data)
+			if err == nil {
+				t.Fatal("ParseBinary accepted corrupt input")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestBuildAllocsPerRank pins the arena layout: Build must cost a
+// constant number of allocations per rank regardless of op count.
+func TestBuildAllocsPerRank(t *testing.T) {
+	b := NewBuilder(1)
+	rb := b.Rank(0)
+	prev := rb.Calc(1)
+	for i := 0; i < 999; i++ {
+		cur := rb.Calc(1)
+		rb.Requires(cur, prev)
+		prev = cur
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		_ = b.Build()
+	})
+	// Schedule + Ranks + Ops + 2 dep tables + 1 arena (IRequires is all
+	// empty, no arena) ≈ 6; leave headroom but stay far below the ~1000
+	// a per-op copy would cost.
+	if allocs > 12 {
+		t.Fatalf("Build allocated %.0f times for a 1000-op rank; arena layout should need ~6", allocs)
+	}
+}

@@ -123,22 +123,17 @@ func (rb *RankBuilder) Chain(ops ...OpID) OpID {
 
 // Build assembles the final Schedule. The builder remains usable (the
 // schedule shares no mutable state with it after Build copies slices).
+// Dependency tables are packed into per-rank arenas (see arena.go) so the
+// built schedule costs a constant number of allocations per rank, not per
+// op.
 func (b *Builder) Build() *Schedule {
 	s := &Schedule{Comment: b.comment, Ranks: make([]RankProgram, len(b.ranks))}
 	for r := range b.ranks {
 		rk := &b.ranks[r]
 		rp := &s.Ranks[r]
 		rp.Ops = append([]Op(nil), rk.ops...)
-		rp.Requires = make([][]int32, len(rk.ops))
-		rp.IRequires = make([][]int32, len(rk.ops))
-		for i := range rk.ops {
-			if len(rk.requires[i]) > 0 {
-				rp.Requires[i] = append([]int32(nil), rk.requires[i]...)
-			}
-			if len(rk.irequires[i]) > 0 {
-				rp.IRequires[i] = append([]int32(nil), rk.irequires[i]...)
-			}
-		}
+		rp.Requires = packDeps(rk.requires)
+		rp.IRequires = packDeps(rk.irequires)
 	}
 	return s
 }

@@ -115,12 +115,9 @@ func placeJobs(policy Placement, sizes []int, total int) ([][]int, error) {
 	return nodes, nil
 }
 
+// copyDeps deep-copies a dependency table, packing it into a fresh arena
+// (arena.go) so the composed schedule keeps the one-allocation-per-table
+// layout regardless of how the source job was built.
 func copyDeps(deps [][]int32) [][]int32 {
-	out := make([][]int32, len(deps))
-	for i, d := range deps {
-		if len(d) > 0 {
-			out[i] = append([]int32(nil), d...)
-		}
-	}
-	return out
+	return packDeps(deps)
 }

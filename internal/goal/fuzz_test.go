@@ -113,8 +113,19 @@ func FuzzBinaryRoundTrip(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		s, err := ReadBinary(bytes.NewReader(raw))
+		ps, perr := ParseBinary(raw)
+		// The streaming and zero-copy decoders are independent
+		// implementations of the same format: they must agree on every
+		// input — accept the same bytes and produce structurally
+		// identical schedules.
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("decoder disagreement: ReadBinary err=%v, ParseBinary err=%v", err, perr)
+		}
 		if err != nil {
 			return // rejected inputs just need to fail cleanly
+		}
+		if !reflect.DeepEqual(s, ps) {
+			t.Fatalf("decoder disagreement:\nReadBinary:  %+v\nParseBinary: %+v", s, ps)
 		}
 		var buf bytes.Buffer
 		if err := WriteBinary(&buf, s); err != nil {

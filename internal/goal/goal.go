@@ -194,17 +194,36 @@ func (s *Schedule) Validate() error {
 
 func checkAcyclic(rp *RankProgram) error {
 	n := len(rp.Ops)
+	// Successor adjacency from both edge kinds in CSR form — count,
+	// prefix-sum, fill — so validating a rank costs a fixed handful of
+	// allocations instead of one slice grow per op with successors.
+	total := 0
 	indeg := make([]int32, n)
-	// successor adjacency from both edge kinds
-	succ := make([][]int32, n)
+	off := make([]int32, n+1)
 	for i := 0; i < n; i++ {
 		for _, d := range rp.Requires[i] {
-			succ[d] = append(succ[d], int32(i))
+			off[d+1]++
 			indeg[i]++
 		}
 		for _, d := range rp.IRequires[i] {
-			succ[d] = append(succ[d], int32(i))
+			off[d+1]++
 			indeg[i]++
+		}
+		total += len(rp.Requires[i]) + len(rp.IRequires[i])
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	succ := make([]int32, total)
+	cur := append([]int32(nil), off[:n]...)
+	for i := 0; i < n; i++ {
+		for _, d := range rp.Requires[i] {
+			succ[cur[d]] = int32(i)
+			cur[d]++
+		}
+		for _, d := range rp.IRequires[i] {
+			succ[cur[d]] = int32(i)
+			cur[d]++
 		}
 	}
 	queue := make([]int32, 0, n)
@@ -218,7 +237,7 @@ func checkAcyclic(rp *RankProgram) error {
 		v := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		seen++
-		for _, w := range succ[v] {
+		for _, w := range succ[off[v]:off[v+1]] {
 			indeg[w]--
 			if indeg[w] == 0 {
 				queue = append(queue, w)

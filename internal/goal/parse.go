@@ -1,0 +1,191 @@
+package goal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Zero-copy binary decode. ParseBinary walks one in-memory buffer with a
+// cursor — no io.Reader round trips, no intermediate buffering — and
+// sizes every allocation exactly: declared counts are admitted only after
+// checking they fit in the bytes that remain (every op costs at least two
+// encoded bytes, every dependency at least one), so a hostile header
+// cannot claim gigabytes, and a truthful one lets ops and dependency
+// arenas be allocated once at final size. This is the hot ingestion path
+// for sim.ResolveSpec, the frontend registry, and atlahsd's workload
+// resolution, all of which hold the full file in memory anyway.
+
+// byteCursor decodes varints from a byte slice in place.
+type byteCursor struct {
+	data []byte
+	off  int
+}
+
+func (c *byteCursor) remaining() int { return len(c.data) - c.off }
+
+func (c *byteCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.data[c.off:])
+	if n <= 0 {
+		if n == 0 {
+			return 0, fmt.Errorf("truncated varint at offset %d", c.off)
+		}
+		return 0, fmt.Errorf("varint overflows 64 bits at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *byteCursor) varint() (int64, error) {
+	v, n := binary.Varint(c.data[c.off:])
+	if n <= 0 {
+		if n == 0 {
+			return 0, fmt.Errorf("truncated varint at offset %d", c.off)
+		}
+		return 0, fmt.Errorf("varint overflows 64 bits at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *byteCursor) byte() (byte, error) {
+	if c.off >= len(c.data) {
+		return 0, fmt.Errorf("unexpected end of input at offset %d", c.off)
+	}
+	b := c.data[c.off]
+	c.off++
+	return b, nil
+}
+
+// ParseBinary decodes a schedule from an in-memory compact binary buffer
+// and validates it. It produces schedules reflect.DeepEqual to
+// ReadBinary's (the fuzzer pins this) but allocates each rank's ops and
+// dependency arena exactly once.
+func ParseBinary(data []byte) (*Schedule, error) {
+	if !bytes.HasPrefix(data, []byte(binaryMagic)) {
+		n := len(data)
+		if n > len(binaryMagic) {
+			n = len(binaryMagic)
+		}
+		return nil, fmt.Errorf("goal: bad magic %q (not a binary GOAL file)", data[:n])
+	}
+	c := &byteCursor{data: data, off: len(binaryMagic)}
+	nranks, err := c.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("goal: reading rank count: %w", err)
+	}
+	if nranks == 0 || nranks > 1<<24 {
+		return nil, fmt.Errorf("goal: implausible rank count %d", nranks)
+	}
+	// Each rank contributes at least one byte (its op count), so a count
+	// beyond the remaining input is provably corrupt — reject before
+	// allocating for it.
+	if nranks > uint64(c.remaining()) {
+		return nil, fmt.Errorf("goal: rank count %d exceeds remaining input (%d bytes)", nranks, c.remaining())
+	}
+	s := &Schedule{Ranks: make([]RankProgram, nranks)}
+	for r := 0; r < int(nranks); r++ {
+		rp := &s.Ranks[r]
+		nops, err := c.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("goal: rank %d op count: %w", r, err)
+		}
+		// flags + size take at least two bytes per op.
+		if nops > uint64(c.remaining())/2 {
+			return nil, fmt.Errorf("goal: rank %d: op count %d exceeds remaining input (%d bytes)", r, nops, c.remaining())
+		}
+		rp.Ops = make([]Op, nops)
+		for i := 0; i < int(nops); i++ {
+			op := &rp.Ops[i]
+			flags, err := c.byte()
+			if err != nil {
+				return nil, fmt.Errorf("goal: rank %d op %d: %w", r, i, err)
+			}
+			op.Kind = Kind(flags & 0x3)
+			sz, err := c.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("goal: rank %d op %d size: %w", r, i, err)
+			}
+			op.Size = int64(sz)
+			op.Peer = -1
+			if op.Kind != KindCalc {
+				peer, err := c.uvarint()
+				if err != nil {
+					return nil, fmt.Errorf("goal: rank %d op %d peer: %w", r, i, err)
+				}
+				op.Peer = int32(peer)
+				if flags&(1<<2) != 0 {
+					tag, err := c.varint()
+					if err != nil {
+						return nil, fmt.Errorf("goal: rank %d op %d tag: %w", r, i, err)
+					}
+					op.Tag = int32(tag)
+				}
+			}
+			if flags&(1<<3) != 0 {
+				cpu, err := c.uvarint()
+				if err != nil {
+					return nil, fmt.Errorf("goal: rank %d op %d cpu: %w", r, i, err)
+				}
+				op.CPU = int32(cpu)
+			}
+		}
+		if rp.Requires, err = parseDeps(c, int(nops)); err != nil {
+			return nil, fmt.Errorf("goal: rank %d requires: %w", r, err)
+		}
+		if rp.IRequires, err = parseDeps(c, int(nops)); err != nil {
+			return nil, fmt.Errorf("goal: rank %d irequires: %w", r, err)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseDeps decodes one dependency table in two passes over the same
+// bytes: the first sizes (and bounds-checks) the table, the second fills
+// a single exactly-sized arena. Varint scanning is cheap enough that the
+// extra pass costs less than even one slice grow-and-copy.
+func parseDeps(c *byteCursor, nops int) ([][]int32, error) {
+	mark := c.off
+	total := 0
+	for i := 0; i < nops; i++ {
+		n, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(c.remaining()) {
+			return nil, fmt.Errorf("op %d: dependency count %d exceeds remaining input (%d bytes)", i, n, c.remaining())
+		}
+		total += int(n)
+		for j := uint64(0); j < n; j++ {
+			if _, err := c.varint(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([][]int32, nops)
+	c.off = mark
+	if total == 0 {
+		// Lists are all empty; just re-consume the zero counts.
+		for i := 0; i < nops; i++ {
+			c.uvarint()
+		}
+		return out, nil
+	}
+	arena := make([]int32, 0, total)
+	for i := 0; i < nops; i++ {
+		n, _ := c.uvarint() // validated by the sizing pass
+		if n == 0 {
+			continue
+		}
+		start := len(arena)
+		for j := uint64(0); j < n; j++ {
+			delta, _ := c.varint()
+			arena = append(arena, int32(i)-int32(delta))
+		}
+		out[i] = arena[start:len(arena):len(arena)]
+	}
+	return out, nil
+}

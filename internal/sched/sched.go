@@ -92,24 +92,25 @@ func Run(eng engine.Sim, s *goal.Schedule, be core.Backend, opts Options) (*Resu
 		rp := &s.Ranks[rank]
 		st := &r.ranks[rank]
 		n := len(rp.Ops)
-		st.needComplete = make([]int32, n)
-		st.needStart = make([]int32, n)
-		st.reqSucc = make([][]int32, n)
-		st.ireqSucc = make([][]int32, n)
-		st.issued = make([]bool, n)
-		st.completed = make([]bool, n)
+		// Fused allocations: both counter slices share one backing array,
+		// as do both flag slices, and the successor tables are CSR views
+		// into one arena each — constant allocations per rank instead of
+		// O(ops) ones on dependency-heavy schedules.
+		counters := make([]int32, 2*n)
+		st.needComplete = counters[:n:n]
+		st.needStart = counters[n:]
+		flags := make([]bool, 2*n)
+		st.issued = flags[:n:n]
+		st.completed = flags[n:]
+		st.reqSucc = invertDeps(rp.Requires)
+		st.ireqSucc = invertDeps(rp.IRequires)
 		for i := 0; i < n; i++ {
 			st.needComplete[i] = int32(len(rp.Requires[i]))
 			st.needStart[i] = int32(len(rp.IRequires[i]))
-			for _, d := range rp.Requires[i] {
-				st.reqSucc[d] = append(st.reqSucc[d], int32(i))
-			}
-			for _, d := range rp.IRequires[i] {
-				st.ireqSucc[d] = append(st.ireqSucc[d], int32(i))
-			}
 		}
 		r.total += int64(n)
 	}
+	reserveHeaps(eng, s)
 	// seed: issue all ops with no dependencies
 	for rank := range s.Ranks {
 		st := &r.ranks[rank]
@@ -132,6 +133,77 @@ func Run(eng engine.Sim, s *goal.Schedule, be core.Backend, opts Options) (*Resu
 		}
 	}
 	return res, nil
+}
+
+// invertDeps builds per-op successor lists from per-op dependency lists
+// in CSR form: two passes — count successors per op, then fill one shared
+// arena — producing the same lists, in the same order, as the old
+// append-per-edge construction but with three allocations total instead
+// of one per op with successors.
+func invertDeps(deps [][]int32) [][]int32 {
+	n := len(deps)
+	out := make([][]int32, n)
+	total := 0
+	counts := make([]int32, n)
+	for i := range deps {
+		for _, d := range deps[i] {
+			counts[d]++
+		}
+		total += len(deps[i])
+	}
+	if total == 0 {
+		return out
+	}
+	arena := make([]int32, total)
+	// counts doubles as the running fill cursor (offset of the next free
+	// slot for each op's list) during the fill pass.
+	off := int32(0)
+	for i, c := range counts {
+		counts[i] = off
+		off += c
+	}
+	for i := range deps {
+		for _, d := range deps[i] {
+			arena[counts[d]] = int32(i)
+			counts[d]++
+		}
+	}
+	start := int32(0)
+	for i := range out {
+		end := counts[i]
+		if end > start {
+			out[i] = arena[start:end:end]
+		}
+		start = end
+	}
+	return out
+}
+
+// reserveHeaps pre-sizes the engine's event heaps from the schedule's op
+// counts (capped — chain-heavy programs never hold anywhere near one
+// event per op at once, and seeding is what drives the early peak).
+func reserveHeaps(eng engine.Sim, s *goal.Schedule) {
+	const perLaneCap = 4096
+	switch e := eng.(type) {
+	case *engine.Engine:
+		total := 0
+		for r := range s.Ranks {
+			n := len(s.Ranks[r].Ops)
+			if n > perLaneCap {
+				n = perLaneCap
+			}
+			total += n
+		}
+		e.Reserve(total)
+	case *engine.ParEngine:
+		for r := range s.Ranks {
+			n := len(s.Ranks[r].Ops)
+			if n > perLaneCap {
+				n = perLaneCap
+			}
+			e.ReserveLane(r, n)
+		}
+	}
 }
 
 func (r *runner) issue(rank int, op int32) {

@@ -47,6 +47,13 @@ type Definition struct {
 	// selects defaults. Conversion streams from r: callers hand over the
 	// reader positioned at the start of the trace.
 	Convert func(r io.Reader, cfg any) (*goal.Schedule, error)
+	// ConvertBytes, when non-nil, converts a trace already held in memory
+	// without the reader indirection — the fast path for formats with a
+	// zero-copy decoder (the "goal" frontend routes binary schedules
+	// through goal.ParseBinary here). It must accept exactly the inputs
+	// Convert accepts and produce identical schedules; callers fall back
+	// to Convert when it is nil.
+	ConvertBytes func(b []byte, cfg any) (*goal.Schedule, error)
 	// NewConfig, when non-nil, returns a pointer to a fresh zero value of
 	// the frontend's config type — the hook the sim spec codec uses to
 	// resolve "frontend_config" wire payloads by frontend name. Frontends
@@ -226,6 +233,15 @@ func init() {
 				return goal.ReadBinary(br)
 			}
 			return goal.ParseText(br)
+		},
+		ConvertBytes: func(b []byte, cfg any) (*goal.Schedule, error) {
+			if cfg != nil {
+				return nil, fmt.Errorf("frontend: \"goal\" takes no config, got %T", cfg)
+			}
+			if bytes.HasPrefix(b, []byte(goalBinaryMagic)) {
+				return goal.ParseBinary(b)
+			}
+			return goal.ParseText(bytes.NewReader(b))
 		},
 	})
 }

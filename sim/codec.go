@@ -270,7 +270,7 @@ func decodeWorkload(w *wireJob) (*Workload, error) {
 		if !bytes.HasPrefix(w.Schedule, []byte(goalMagic)) {
 			return nil, fmt.Errorf("sim: wire schedule payload must be binary GOAL (%s...); ship textual GOAL via goal_bytes", goalMagic)
 		}
-		s, err := goal.ReadBinary(bytes.NewReader(w.Schedule))
+		s, err := goal.ParseBinary(w.Schedule)
 		if err != nil {
 			return nil, fmt.Errorf("sim: decoding wire schedule: %w", err)
 		}

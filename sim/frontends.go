@@ -172,7 +172,9 @@ func DetectFrontend(path string) (Frontend, error) {
 }
 
 // ConvertTrace converts an in-memory serialised trace into a GOAL
-// schedule through the frontend registry; see ConvertTraceFile.
+// schedule through the frontend registry; see ConvertTraceFile. Frontends
+// with a zero-copy byte decoder (Frontend.ConvertBytes — the "goal"
+// frontend's binary path) convert without the reader indirection.
 func ConvertTrace(b []byte, frontendName string, cfg any) (*Schedule, error) {
 	prefix := b
 	if len(prefix) > frontend.SniffLen {
@@ -182,7 +184,12 @@ func ConvertTrace(b []byte, frontendName string, cfg any) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := def.Convert(bytes.NewReader(b), cfg)
+	var s *Schedule
+	if def.ConvertBytes != nil {
+		s, err = def.ConvertBytes(b, cfg)
+	} else {
+		s, err = def.Convert(bytes.NewReader(b), cfg)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("sim: converting trace via %q frontend: %w", def.Name, err)
 	}

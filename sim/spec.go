@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -225,7 +226,8 @@ func placementPolicy(name string) (goal.Placement, error) {
 }
 
 // LoadGOAL reads a GOAL schedule file, textual or binary (auto-detected by
-// the GOALB1 magic).
+// the GOALB1 magic). Binary files load whole and decode through the
+// zero-copy goal.ParseBinary path.
 func LoadGOAL(path string) (*Schedule, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -234,16 +236,20 @@ func LoadGOAL(path string) (*Schedule, error) {
 	defer f.Close()
 	br := bufio.NewReader(f)
 	if magic, err := br.Peek(len(goalMagic)); err == nil && string(magic) == goalMagic {
-		return goal.ReadBinary(br)
+		b, err := io.ReadAll(br)
+		if err != nil {
+			return nil, err
+		}
+		return goal.ParseBinary(b)
 	}
 	return goal.ParseText(br)
 }
 
 // DecodeGOAL parses a serialised GOAL schedule, textual or binary
-// (auto-detected).
+// (auto-detected). Binary input decodes zero-copy via goal.ParseBinary.
 func DecodeGOAL(b []byte) (*Schedule, error) {
 	if bytes.HasPrefix(b, []byte(goalMagic)) {
-		return goal.ReadBinary(bytes.NewReader(b))
+		return goal.ParseBinary(b)
 	}
 	return goal.ParseText(bytes.NewReader(b))
 }
