@@ -8,6 +8,7 @@ package atlahs
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 
@@ -16,6 +17,7 @@ import (
 	"atlahs/internal/goal"
 	"atlahs/internal/sched"
 	"atlahs/internal/workload/micro"
+	"atlahs/sim"
 )
 
 // perfWorkload is the shared large schedule plus its binary encoding,
@@ -153,4 +155,38 @@ func BenchmarkDepLayoutScatteredVsArena(b *testing.B) {
 	}
 	b.Run("scattered", func(b *testing.B) { run(b, scattered) })
 	b.Run("arena", func(b *testing.B) { run(b, w.s) })
+}
+
+// BenchmarkTelemetryOffVsOn pairs the observability tax: the shared
+// schedule through the sim facade with telemetry off (the default — the
+// per-run metrics snapshot is always assembled, so "off" carries it)
+// versus with a timeline recorder attached, which touches every op
+// completion and every parallel window. The off side must stay on the
+// allocation-lean hot path; the on side bounds what -timeline and the
+// service's trace recording cost.
+func BenchmarkTelemetryOffVsOn(b *testing.B) {
+	w := perfWorkload()
+	base := sim.Spec{Workload: sim.Workload{Schedule: w.s}, Backend: "lgs", Workers: 4}
+	run := func(b *testing.B, tl *sim.Timeline) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			spec := base
+			if tl != nil {
+				tl.Reset()
+				spec.Timeline = tl
+			}
+			res, err := sim.Run(context.Background(), spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Ops != w.ops {
+				b.Fatal("incomplete run")
+			}
+			if tl != nil && tl.Dropped() > 0 {
+				b.Fatal("timeline recorder overflowed; raise the benchmark's event bound")
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("timeline", func(b *testing.B) { run(b, sim.NewTimeline(1<<20)) })
 }

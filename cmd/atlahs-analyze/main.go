@@ -37,6 +37,7 @@ import (
 	"strings"
 
 	"atlahs/internal/analyze"
+	"atlahs/internal/profiling"
 	"atlahs/results"
 )
 
@@ -76,12 +77,14 @@ run "atlahs-analyze <subcommand> -h" for flags.
 
 // gateFlags are the flags every subcommand shares.
 type gateFlags struct {
-	threshold float64
-	madK      float64
-	metrics   string
-	gate      bool
-	jsonOut   bool
-	htmlOut   string
+	threshold  float64
+	madK       float64
+	metrics    string
+	gate       bool
+	jsonOut    bool
+	htmlOut    string
+	cpuprofile string
+	memprofile string
 }
 
 func (g *gateFlags) register(fs *flag.FlagSet, withMAD bool) {
@@ -93,6 +96,13 @@ func (g *gateFlags) register(fs *flag.FlagSet, withMAD bool) {
 	fs.BoolVar(&g.gate, "gate", true, "exit 1 when a regression is flagged")
 	fs.BoolVar(&g.jsonOut, "json", false, "emit the machine-readable document instead of text")
 	fs.StringVar(&g.htmlOut, "html", "", "also render the HTML report to this file")
+	fs.StringVar(&g.cpuprofile, "cpuprofile", "", "write a CPU profile of this invocation to FILE (go tool pprof format)")
+	fs.StringVar(&g.memprofile, "memprofile", "", "write a heap profile at exit to FILE (go tool pprof format)")
+}
+
+// profile starts the shared profiling helper from the subcommand's flags.
+func (g *gateFlags) profile() (func(), error) {
+	return profiling.Start("atlahs-analyze", g.cpuprofile, g.memprofile)
 }
 
 func (g *gateFlags) build() (analyze.Gate, error) {
@@ -122,6 +132,11 @@ func runDiff(args []string) int {
 		fmt.Fprintln(os.Stderr, "atlahs-analyze diff: want exactly two artifact paths")
 		return 2
 	}
+	stop, err := gf.profile()
+	if err != nil {
+		return fail(err)
+	}
+	defer stop()
 	gate, err := gf.build()
 	if err != nil {
 		return fail(err)
@@ -188,6 +203,11 @@ func runHistory(args []string) int {
 		fmt.Fprintln(os.Stderr, "atlahs-analyze history: want -store DIR and no positional arguments")
 		return 2
 	}
+	stop, err := gf.profile()
+	if err != nil {
+		return fail(err)
+	}
+	defer stop()
 	st, err := results.NewStore(*store)
 	if err != nil {
 		return fail(err)
@@ -209,6 +229,11 @@ func runBench(args []string) int {
 		fmt.Fprintln(os.Stderr, "atlahs-analyze bench: want -dir DIR and no positional arguments")
 		return 2
 	}
+	stop, err := gf.profile()
+	if err != nil {
+		return fail(err)
+	}
+	defer stop()
 	series, warnings, err := analyze.BenchHistory(*dir)
 	if err != nil {
 		return fail(err)

@@ -24,6 +24,10 @@
 // The same model can also be run directly, without materialising a GOAL
 // file, by setting the model workload source on a sim.Spec
 // (Model/ModelPath; see the sim package docs).
+//
+// Both subcommands take -cpuprofile FILE and -memprofile FILE, writing
+// profiles in the format `go tool pprof` reads — mining a large trace or
+// generating at high rank counts can be profiled without a patched build.
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 	"io"
 	"os"
 
+	"atlahs/internal/profiling"
 	"atlahs/sim"
 )
 
@@ -74,12 +79,18 @@ func mine(args []string) error {
 	frontend := fs.String("frontend", "", "workload frontend (default: auto-detect)")
 	comment := fs.String("comment", "", "provenance comment stored in the model")
 	out := fs.String("out", "", "output model file (default: stdout)")
+	cpuprofile, memprofile := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("mine needs -in trace")
 	}
+	stop, err := profiling.Start("atlahs-synth", *cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stop()
 	sched, used, err := sim.ConvertTraceFileVia(*in, *frontend, nil)
 	if err != nil {
 		return err
@@ -103,12 +114,18 @@ func gen(args []string) error {
 	seed := fs.Uint64("seed", 1, "generation seed")
 	format := fs.String("format", "text", "output encoding: text or binary")
 	out := fs.String("out", "", "output GOAL file (default: stdout)")
+	cpuprofile, memprofile := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *modelPath == "" {
 		return fmt.Errorf("gen needs -model file")
 	}
+	stop, err := profiling.Start("atlahs-synth", *cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stop()
 	var write func(io.Writer, *sim.Schedule) error
 	switch *format {
 	case "text":
@@ -137,6 +154,12 @@ func gen(args []string) error {
 // newFlagSet builds a subcommand flag set that exits with usage on error.
 func newFlagSet(name string) *flag.FlagSet {
 	return flag.NewFlagSet("atlahs-synth "+name, flag.ExitOnError)
+}
+
+// profileFlags declares the shared profiling flags on a subcommand.
+func profileFlags(fs *flag.FlagSet) (cpu, mem *string) {
+	return fs.String("cpuprofile", "", "write a CPU profile of this invocation to FILE (go tool pprof format)"),
+		fs.String("memprofile", "", "write a heap profile at exit to FILE (go tool pprof format)")
 }
 
 // writeTo streams the payload to the named file, or stdout when empty. A

@@ -14,12 +14,18 @@
 //
 // Flags: [-backend lgs|pkt|fluid] [-params ai|hpc] [-hosts-per-tor 4]
 // [-oversub 1] [-cc mprdma] [-seed 1] [-workers 1] [-progress 0] [-json]
-// [-cpuprofile FILE] [-memprofile FILE]
+// [-cpuprofile FILE] [-memprofile FILE] [-timeline FILE]
 //
 // -cpuprofile writes a CPU profile of the whole invocation and
 // -memprofile a heap profile at exit (after a final GC), both in the
 // format `go tool pprof` reads — so profiling a simulation needs no
 // patched binary. Profiles are flushed on error exits too.
+//
+// -timeline records a local run's execution — per-rank op completions
+// and, on parallel runs, per-lane conservative windows — and writes it
+// as Chrome trace-event JSON, loadable in Perfetto (or chrome://tracing).
+// Timestamps are simulated time, so the file is as deterministic as the
+// result.
 //
 // -goal takes a GOAL file, textual or binary (auto-detected). -trace takes
 // a raw application trace (nsys report, MPI trace, SPC block-I/O trace,
@@ -62,13 +68,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"runtime"
-	"runtime/pprof"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
+	"atlahs/internal/profiling"
 	"atlahs/internal/service"
 	"atlahs/sim"
 )
@@ -94,18 +98,21 @@ func main() {
 	sweepMode := flag.Bool("sweep", false, "with -submit: batch-submit the spec files given as positional arguments as one sweep")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of this invocation to FILE (go tool pprof format)")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to FILE (go tool pprof format)")
+	timelinePath := flag.String("timeline", "", "write the run's execution timeline to FILE as Chrome trace-event JSON (local runs only; open in Perfetto)")
 	flag.Parse()
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
-	if err := startProfiling(*cpuprofile, *memprofile); err != nil {
+	stop, err := profiling.Start("atlahs", *cpuprofile, *memprofile)
+	if err != nil {
 		fail(err)
 	}
+	profileStop = stop
 	defer profileStop()
 
 	if *serveAddr != "" {
-		for _, name := range []string{"goal", "trace", "spec", "submit", "sweep", "json", "frontend"} {
+		for _, name := range []string{"goal", "trace", "spec", "submit", "sweep", "json", "frontend", "timeline"} {
 			if set[name] {
 				fail(fmt.Errorf("-serve runs a server; -%s does not apply", name))
 			}
@@ -209,6 +216,11 @@ func main() {
 	}
 
 	if *submitURL != "" {
+		if set["timeline"] {
+			// The simulation happens server-side; its recorder does too (see
+			// atlahsd -timeline and GET /v1/runs/{id}/trace).
+			fail(fmt.Errorf("-timeline records local runs; the server's trace endpoint covers -submit"))
+		}
 		if err := submit(*submitURL, spec, *jsonOut); err != nil {
 			fail(err)
 		}
@@ -224,11 +236,25 @@ func main() {
 		}
 	}
 
+	var tl *sim.Timeline
+	if *timelinePath != "" {
+		tl = sim.NewTimeline(0)
+		spec.Timeline = tl
+	}
+
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 	res, err := sim.Run(ctx, spec)
 	if err != nil {
 		fail(err)
+	}
+	if tl != nil {
+		if err := writeTimeline(*timelinePath, tl); err != nil {
+			fail(err)
+		}
+		if !*jsonOut {
+			fmt.Printf("timeline: %d events written to %s\n", tl.Len(), *timelinePath)
+		}
 	}
 	if *jsonOut {
 		if err := service.WriteResultJSON(os.Stdout, res); err != nil {
@@ -237,6 +263,20 @@ func main() {
 		return
 	}
 	fmt.Printf("backend %s: simulated runtime %s\n", res.Backend, res.Runtime)
+}
+
+// writeTimeline persists the recorded timeline as one trace-event JSON
+// document.
+func writeTimeline(path string, tl *sim.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // cliWorkers maps the CLI convention (-workers 0 = all cores) onto the
@@ -484,52 +524,9 @@ func (consoleObserver) NetStats(ns sim.NetStats) {
 }
 
 // profileStop flushes any active profiles; fail() and the end of main
-// both run it (it is idempotent) so profiles survive error exits, which
-// bypass deferred calls via os.Exit.
+// both run it (it is idempotent, see internal/profiling) so profiles
+// survive error exits, which bypass deferred calls via os.Exit.
 var profileStop = func() {}
-
-// startProfiling begins a CPU profile and/or arranges a heap profile at
-// exit. It returns an error instead of exiting so the caller's fail path
-// — which flushes profiles — stays usable.
-func startProfiling(cpuPath, memPath string) error {
-	if cpuPath == "" && memPath == "" {
-		return nil
-	}
-	var cpuFile *os.File
-	if cpuPath != "" {
-		f, err := os.Create(cpuPath)
-		if err != nil {
-			return err
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			return err
-		}
-		cpuFile = f
-	}
-	var once sync.Once
-	profileStop = func() {
-		once.Do(func() {
-			if cpuFile != nil {
-				pprof.StopCPUProfile()
-				cpuFile.Close()
-			}
-			if memPath != "" {
-				f, err := os.Create(memPath)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "atlahs: memprofile:", err)
-					return
-				}
-				defer f.Close()
-				runtime.GC() // settle the live set so the profile shows retained memory
-				if err := pprof.WriteHeapProfile(f); err != nil {
-					fmt.Fprintln(os.Stderr, "atlahs: memprofile:", err)
-				}
-			}
-		})
-	}
-	return nil
-}
 
 func fail(err error) {
 	profileStop()

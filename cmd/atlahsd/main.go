@@ -6,7 +6,8 @@
 // Usage:
 //
 //	atlahsd [-addr :8080] [-jobs 2] [-workers 0] [-queue 64] [-cache 256]
-//	        [-artifacts DIR] [-pprof ADDR]
+//	        [-artifacts DIR] [-pprof ADDR] [-timeline]
+//	        [-log-format text|json]
 //
 // API (see internal/service):
 //
@@ -22,7 +23,14 @@
 //	GET  /v1/analyze/diff        diff two runs' artifacts, gated for
 //	                             regressions (?a=RUN&b=RUN[&keys=cols]
 //	                             [&threshold=F][&format=html])
-//	GET  /v1/healthz             liveness probe
+//	GET  /v1/runs/{id}/metrics   the run's atlahs.metrics/v1 engine
+//	                             counters, once done
+//	GET  /v1/runs/{id}/trace     the run's Perfetto timeline (-timeline
+//	                             runs only)
+//	GET  /metrics                service metrics, Prometheus text
+//	                             (?format=json for atlahs.metrics/v1)
+//	GET  /v1/healthz             readiness probe (queue depth, executor
+//	                             occupancy, store writability, uptime)
 //
 // -jobs bounds how many simulations run concurrently and -workers is the
 // total engine-worker budget they share (0 = all cores); -queue bounds
@@ -44,6 +52,16 @@
 // `go tool pprof http://localhost:6060/debug/pprof/profile?seconds=30`
 // without exposing the profiling endpoints on the API address.
 //
+// -timeline records every executed run's execution timeline (Chrome
+// trace-event JSON; simulated-time timestamps) and serves it at
+// GET /v1/runs/{id}/trace; with -artifacts the traces also persist under
+// DIR/traces/. Off by default: recording touches every op completion.
+//
+// Operational logs are structured (log/slog) with run id, fingerprint,
+// admission class and cache-status attributes on every run lifecycle
+// line; -log-format picks the handler, "text" (the default) or "json"
+// for log collectors.
+//
 // Submit a spec from the shell:
 //
 //	echo '{"schema":"atlahs.spec/v1","synthetic":{"pattern":"alltoall",
@@ -56,6 +74,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux, served only on -pprof
 	"os"
@@ -71,7 +90,21 @@ func main() {
 	cache := flag.Int("cache", 256, "completed runs kept addressable")
 	artifacts := flag.String("artifacts", "", "directory to persist per-run result artifacts (optional)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; off when empty)")
+	timeline := flag.Bool("timeline", false, "record every run's execution timeline and serve it at GET /v1/runs/{id}/trace")
+	logFormat := flag.String("log-format", "text", "structured log handler: text or json")
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fail(fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat))
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
 
 	if *pprofAddr != "" {
 		// The API listener uses its own mux (service.ListenAndServe), so
@@ -90,6 +123,8 @@ func main() {
 		Workers:     *workers,
 		Cache:       *cache,
 		ArtifactDir: *artifacts,
+		Timeline:    *timeline,
+		Logger:      logger,
 	})
 	if err != nil {
 		fail(err)

@@ -131,6 +131,9 @@ type Engine struct {
 	seq     uint64
 	queue   eventHeap
 	stopped bool
+	// peak is the queue-depth high-water mark, sampled before each pop
+	// (see Stats).
+	peak int
 
 	// Processed counts events executed so far (for stats/benchmarks).
 	Processed uint64
@@ -194,6 +197,9 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run() simtime.Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
+		if n := len(e.queue); n > e.peak {
+			e.peak = n
+		}
 		ev := e.queue.pop()
 		e.now = ev.at
 		e.Processed++
@@ -207,6 +213,9 @@ func (e *Engine) Run() simtime.Time {
 func (e *Engine) RunUntil(deadline simtime.Time) simtime.Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped && e.queue[0].at <= deadline {
+		if n := len(e.queue); n > e.peak {
+			e.peak = n
+		}
 		ev := e.queue.pop()
 		e.now = ev.at
 		e.Processed++
@@ -225,5 +234,6 @@ func (e *Engine) Reset() {
 	e.seq = 0
 	e.queue = e.queue[:0]
 	e.stopped = false
+	e.peak = 0
 	e.Processed = 0
 }

@@ -68,6 +68,11 @@ type ParEngine struct {
 	adaptive  bool
 	stop      atomic.Bool
 	now       simtime.Time
+	// stats accumulates the coordinator-side window counters (see
+	// RunStats); all writes happen on the coordinating goroutine.
+	stats RunStats
+	// tracer, when non-nil, receives per-lane window spans (SetTracer).
+	tracer Tracer
 }
 
 // pevent is a parallel-engine event with its deterministic ordering key.
@@ -171,6 +176,12 @@ type lane struct {
 	// end is this window's per-lane execution bound, set by the
 	// coordinator before dispatch (see Run for the adaptive bound).
 	end simtime.Time
+	// openAt/openDone snapshot the lane's head time and processed count
+	// at window open; only written when a Tracer is attached, so traced
+	// runs pay two coordinator-side stores per active lane per window and
+	// untraced runs pay nothing.
+	openAt   simtime.Time
+	openDone uint64
 }
 
 // NewParallel creates a parallel engine with `lanes` lanes advancing under
@@ -282,6 +293,7 @@ func (p *ParEngine) Reset() {
 		l.out = l.out[:0]
 	}
 	p.now = 0
+	p.stats = RunStats{}
 	p.stop.Store(false)
 }
 
@@ -308,8 +320,9 @@ func (p *ParEngine) Run() simtime.Time {
 		// scan also tracks the second-smallest head (m2, counting
 		// duplicates of the minimum), which the adaptive bound needs.
 		var m1, m2 simtime.Time
-		nheads := 0
+		nheads, pending := 0, 0
 		for _, l := range p.lanes {
+			pending += len(l.queue)
 			if len(l.queue) == 0 {
 				continue
 			}
@@ -328,6 +341,10 @@ func (p *ParEngine) Run() simtime.Time {
 		if nheads == 0 {
 			break
 		}
+		if pending > p.stats.PeakPending {
+			p.stats.PeakPending = pending
+		}
+		p.stats.Windows++
 		windowEnd := m1.Add(p.lookahead)
 		// Adaptive bound for lanes at the minimum head: min(minOther +
 		// la, m1 + 2·la), where minOther is m2, or absent entirely when
@@ -340,6 +357,9 @@ func (p *ParEngine) Run() simtime.Time {
 			minEnd = m1.Add(2 * p.lookahead)
 			if nheads > 1 && m2.Add(p.lookahead) < minEnd {
 				minEnd = m2.Add(p.lookahead)
+			}
+			if minEnd > windowEnd {
+				p.stats.WidenedWindows++
 			}
 		}
 		active = active[:0]
@@ -357,7 +377,26 @@ func (p *ParEngine) Run() simtime.Time {
 				active = append(active, l)
 			}
 		}
+		p.stats.ActiveLanes += uint64(len(active))
+		if len(active) > p.stats.MaxActiveLanes {
+			p.stats.MaxActiveLanes = len(active)
+		}
+		if p.tracer != nil {
+			for _, l := range active {
+				l.openAt = l.queue[0].at
+				l.openDone = l.processed
+			}
+		}
 		p.runWindow(pool, active)
+		if p.tracer != nil {
+			// The pool's barrier has joined the workers, so reading each
+			// lane's clock and counter here is race-free.
+			for _, l := range active {
+				if n := l.processed - l.openDone; n > 0 {
+					p.tracer.LaneWindow(l.id, l.openAt, l.now, n)
+				}
+			}
+		}
 		// Barrier: deliver buffered cross-lane events. Heap order is fully
 		// determined by the per-event keys, so delivery order is irrelevant.
 		for _, l := range p.lanes {
@@ -397,11 +436,14 @@ func (p *ParEngine) runWindow(pool *winPool, active []*lane) {
 		}
 	}
 	if pool == nil || nw <= 1 {
+		p.stats.InlineWindows++
 		for _, l := range active {
 			l.runTo(l.end)
 		}
 		return
 	}
+	p.stats.DispatchedWindows++
+	p.stats.WorkerWakeups += uint64(nw)
 	pool.dispatch(nw, active)
 }
 

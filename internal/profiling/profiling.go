@@ -1,0 +1,59 @@
+// Package profiling is the one CPU/heap-profile helper every ATLAHS
+// command shares: each binary declares -cpuprofile/-memprofile flags and
+// hands them to Start, so profiling any tool in the chain — the
+// simulator, the analyzer, the workload synthesiser — needs no patched
+// build and produces files `go tool pprof` reads directly.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Start begins a CPU profile (when cpuPath is set) and arranges a heap
+// profile at stop time (when memPath is set). It returns an idempotent
+// stop function that flushes both; callers run it on every exit path —
+// including error exits that bypass defers via os.Exit — so profiles
+// survive failures. tool names the command in stop-time error messages.
+// With both paths empty, Start is a no-op returning a no-op stop.
+func Start(tool, cpuPath, memPath string) (stop func(), err error) {
+	if cpuPath == "" && memPath == "" {
+		return func() {}, nil
+	}
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", tool, err)
+					return
+				}
+				defer f.Close()
+				runtime.GC() // settle the live set so the profile shows retained memory
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", tool, err)
+				}
+			}
+		})
+	}, nil
+}

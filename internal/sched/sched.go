@@ -38,6 +38,13 @@ type Result struct {
 	Ops int64
 	// Events is the number of engine events processed.
 	Events uint64
+	// PeakOutstanding is the largest number of simultaneously in-flight
+	// (issued but not completed) ops on any single rank — the scheduler's
+	// ready-queue depth high-water mark.
+	PeakOutstanding int
+	// HeapReserved is the total event-heap capacity pre-sized from the
+	// schedule's op counts before the run.
+	HeapReserved int
 }
 
 type rankState struct {
@@ -47,6 +54,10 @@ type rankState struct {
 	ireqSucc     [][]int32
 	issued       []bool
 	completed    []bool
+	// outstanding/peakOut track issued-but-incomplete ops. Like the other
+	// fields they are only touched from the op's rank lane, so no atomics.
+	outstanding int32
+	peakOut     int32
 }
 
 type runner struct {
@@ -110,7 +121,7 @@ func Run(eng engine.Sim, s *goal.Schedule, be core.Backend, opts Options) (*Resu
 		}
 		r.total += int64(n)
 	}
-	reserveHeaps(eng, s)
+	reserved := reserveHeaps(eng, s)
 	// seed: issue all ops with no dependencies
 	for rank := range s.Ranks {
 		st := &r.ranks[rank]
@@ -126,10 +137,15 @@ func Run(eng engine.Sim, s *goal.Schedule, be core.Backend, opts Options) (*Resu
 	if r.doneOps() != r.total {
 		return nil, r.deadlockError()
 	}
-	res := &Result{RankEnd: r.end, Ops: r.doneOps(), Events: eng.EventsProcessed()}
+	res := &Result{RankEnd: r.end, Ops: r.doneOps(), Events: eng.EventsProcessed(), HeapReserved: reserved}
 	for _, t := range r.end {
 		if d := simtime.Duration(t); d > res.Runtime {
 			res.Runtime = d
+		}
+	}
+	for i := range r.ranks {
+		if p := int(r.ranks[i].peakOut); p > res.PeakOutstanding {
+			res.PeakOutstanding = p
 		}
 	}
 	return res, nil
@@ -181,12 +197,13 @@ func invertDeps(deps [][]int32) [][]int32 {
 
 // reserveHeaps pre-sizes the engine's event heaps from the schedule's op
 // counts (capped — chain-heavy programs never hold anywhere near one
-// event per op at once, and seeding is what drives the early peak).
-func reserveHeaps(eng engine.Sim, s *goal.Schedule) {
+// event per op at once, and seeding is what drives the early peak). It
+// returns the total capacity reserved (0 for unknown engine types).
+func reserveHeaps(eng engine.Sim, s *goal.Schedule) int {
 	const perLaneCap = 4096
+	total := 0
 	switch e := eng.(type) {
 	case *engine.Engine:
-		total := 0
 		for r := range s.Ranks {
 			n := len(s.Ranks[r].Ops)
 			if n > perLaneCap {
@@ -202,8 +219,10 @@ func reserveHeaps(eng engine.Sim, s *goal.Schedule) {
 				n = perLaneCap
 			}
 			e.ReserveLane(r, n)
+			total += n
 		}
 	}
+	return total
 }
 
 func (r *runner) issue(rank int, op int32) {
@@ -212,6 +231,10 @@ func (r *runner) issue(rank int, op int32) {
 		panic(fmt.Sprintf("sched: double issue of rank %d op %d", rank, op))
 	}
 	st.issued[op] = true
+	st.outstanding++
+	if st.outstanding > st.peakOut {
+		st.peakOut = st.outstanding
+	}
 	// notify irequires successors: the op has started
 	for _, succ := range st.ireqSucc[op] {
 		st.needStart[succ]--
@@ -239,6 +262,7 @@ func (r *runner) over(h core.Handle, at simtime.Time) {
 		panic(fmt.Sprintf("sched: double completion of rank %d op %d", rank, op))
 	}
 	st.completed[op] = true
+	st.outstanding--
 	r.done[rank]++
 	if at > r.end[rank] {
 		r.end[rank] = at

@@ -181,6 +181,6 @@ func (s *Service) writeHTML(w http.ResponseWriter, report *analyze.Report) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	if err := analyze.RenderHTML(w, report); err != nil {
-		s.log.Printf("service: rendering %s report: %v", report.Title, err)
+		s.log.Warn("service: rendering report", "report", report.Title, "err", err)
 	}
 }

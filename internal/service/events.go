@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"atlahs/internal/telemetry"
 	"atlahs/sim"
 )
 
@@ -60,14 +61,18 @@ type NetStatsData struct {
 	Retransmits uint64 `json:"retransmits"`
 }
 
-// DoneData carries the finished run's result.
+// DoneData carries the finished run's result, plus the total number of
+// op/progress events the bridge dropped to lagging subscribers over the
+// run's lifetime — the stream's own completeness disclosure.
 type DoneData struct {
-	Result *JSONResult `json:"result"`
+	Result        *JSONResult `json:"result"`
+	DroppedEvents int64       `json:"dropped_events"`
 }
 
 // FailedData carries the failure message.
 type FailedData struct {
-	Error string `json:"error"`
+	Error         string `json:"error"`
+	DroppedEvents int64  `json:"dropped_events"`
 }
 
 // subBuffer is each subscription's channel capacity. High-rate op/progress
@@ -100,6 +105,9 @@ func (sub *Subscription) Close() {
 	if _, ok := r.subs[sub]; ok {
 		delete(r.subs, sub)
 		r.nsubs.Add(-1)
+		if r.mx != nil {
+			r.mx.sseSubscribers.Dec()
+		}
 		close(sub.ch)
 	}
 }
@@ -115,13 +123,13 @@ func (sub *Subscription) deliver(ev Event, droppable bool) {
 	default:
 	}
 	if droppable {
-		sub.dropped.Add(1)
+		sub.drop()
 		return
 	}
 	for {
 		select {
 		case <-sub.ch:
-			sub.dropped.Add(1)
+			sub.drop()
 		default:
 		}
 		select {
@@ -129,6 +137,16 @@ func (sub *Subscription) deliver(ev Event, droppable bool) {
 			return
 		default:
 		}
+	}
+}
+
+// drop books one discarded event on the subscription, the run and the
+// service metrics.
+func (sub *Subscription) drop() {
+	sub.dropped.Add(1)
+	sub.r.drops.Add(1)
+	if sub.r.mx != nil {
+		sub.r.mx.sseDropped.Inc()
 	}
 }
 
@@ -143,6 +161,18 @@ type run struct {
 	// lookKeys are the fast-path cache keys pointing at this run, owned
 	// and cleaned up by the Service under its own mutex.
 	lookKeys []string
+	// class is the admission class the run queued in, carried for
+	// structured logs and the queue-depth gauge.
+	class string
+	// mx points at the owning service's metrics; nil on runs built
+	// outside a service (tests).
+	mx *serviceMetrics
+	// timeline is the run's execution recorder when Config.Timeline is
+	// on, drained by GET /v1/runs/{id}/trace.
+	timeline *telemetry.Timeline
+	// drops totals the op/progress events discarded across all of this
+	// run's subscriptions, surfaced in the terminal event and run JSON.
+	drops atomic.Int64
 
 	// nsubs mirrors len(subs) so the op-rate publish path can skip the
 	// mutex entirely while nobody is listening.
@@ -195,6 +225,7 @@ func (r *run) snapshot() Snapshot {
 		Status:   r.status,
 		Result:   r.result,
 		Artifact: r.artifact,
+		Dropped:  r.drops.Load(),
 	}
 	if r.err != nil {
 		snap.Err = r.err.Error()
@@ -216,7 +247,7 @@ func (r *run) complete(res *sim.Result, artifact []byte) {
 	r.status = StatusDone
 	r.result = res
 	r.artifact = artifact
-	r.finishLocked(Event{Type: EventDone, Run: r.id, Data: DoneData{Result: NewJSONResult(res)}})
+	r.finishLocked(Event{Type: EventDone, Run: r.id, Data: DoneData{Result: NewJSONResult(res), DroppedEvents: r.drops.Load()}})
 	r.mu.Unlock()
 }
 
@@ -225,7 +256,7 @@ func (r *run) fail(err error) {
 	r.mu.Lock()
 	r.status = StatusFailed
 	r.err = err
-	r.finishLocked(Event{Type: EventFailed, Run: r.id, Data: FailedData{Error: err.Error()}})
+	r.finishLocked(Event{Type: EventFailed, Run: r.id, Data: FailedData{Error: err.Error(), DroppedEvents: r.drops.Load()}})
 	r.mu.Unlock()
 }
 
@@ -237,6 +268,9 @@ func (r *run) finishLocked(ev Event) {
 		close(sub.ch)
 		delete(r.subs, sub)
 		r.nsubs.Add(-1)
+		if r.mx != nil {
+			r.mx.sseSubscribers.Dec()
+		}
 	}
 	close(r.done)
 }
@@ -245,9 +279,9 @@ func (r *run) finishLocked(ev Event) {
 // the caller holds r.mu and has checked the status is terminal.
 func (r *run) terminalEventLocked() Event {
 	if r.status == StatusFailed {
-		return Event{Type: EventFailed, Run: r.id, Data: FailedData{Error: r.err.Error()}}
+		return Event{Type: EventFailed, Run: r.id, Data: FailedData{Error: r.err.Error(), DroppedEvents: r.drops.Load()}}
 	}
-	return Event{Type: EventDone, Run: r.id, Data: DoneData{Result: NewJSONResult(r.result)}}
+	return Event{Type: EventDone, Run: r.id, Data: DoneData{Result: NewJSONResult(r.result), DroppedEvents: r.drops.Load()}}
 }
 
 // publish fans one live event out to every subscriber. Droppable events
@@ -336,6 +370,9 @@ func (s *Service) Subscribe(id string) (*Subscription, bool) {
 	} else {
 		r.subs[sub] = struct{}{}
 		r.nsubs.Add(1)
+		if r.mx != nil {
+			r.mx.sseSubscribers.Inc()
+		}
 	}
 	r.mu.Unlock()
 	return sub, true

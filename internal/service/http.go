@@ -32,7 +32,15 @@ import (
 //	                             runs (atlahs.history/v1; ?format=html)
 //	GET  /v1/analyze/diff        field-by-field diff of two runs'
 //	                             artifacts (?a=RUN&b=RUN; see analyze.go)
-//	GET  /v1/healthz             liveness probe
+//	GET  /v1/runs/{id}/metrics   the run's atlahs.metrics/v1 engine-counter
+//	                             snapshot, once done
+//	GET  /v1/runs/{id}/trace     the run's Chrome trace-event timeline
+//	                             (Config.Timeline runs only), once done
+//	GET  /metrics                service metrics, Prometheus text
+//	                             exposition (?format=json for an
+//	                             atlahs.metrics/v1 snapshot)
+//	GET  /v1/healthz             readiness probe: queue depth, executor
+//	                             occupancy, store writability, uptime
 //
 // Every /v1/runs and /v1/sweeps response carries a Cache-Status header:
 // "hit" when it was answered from the content-addressed run cache without
@@ -60,6 +68,10 @@ type runResponse struct {
 	Cached bool        `json:"cached"`
 	Error  string      `json:"error,omitempty"`
 	Result *JSONResult `json:"result,omitempty"`
+	// DroppedEvents counts the op/progress events the run's event stream
+	// discarded to lagging subscribers — the same number the terminal SSE
+	// event discloses.
+	DroppedEvents int64 `json:"dropped_events"`
 }
 
 // errorResponse is the JSON body of every non-2xx API response.
@@ -80,7 +92,7 @@ func ListenAndServe(svc *Service, addr string) error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "atlahs service: listening on %s\n", addr)
+		svc.log.Info("service: listening", "addr", addr)
 		errc <- srv.ListenAndServe()
 	}()
 	select {
@@ -89,7 +101,7 @@ func ListenAndServe(svc *Service, addr string) error {
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "atlahs service: shutting down")
+	svc.log.Info("service: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	err := srv.Shutdown(shutdownCtx)
@@ -112,9 +124,10 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/artifact", svc.handleSweepArtifact)
 	mux.HandleFunc("GET /v1/history", svc.handleHistory)
 	mux.HandleFunc("GET /v1/analyze/diff", svc.handleAnalyzeDiff)
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		svc.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
-	})
+	mux.HandleFunc("GET /v1/runs/{id}/metrics", svc.handleRunMetrics)
+	mux.HandleFunc("GET /v1/runs/{id}/trace", svc.handleRunTrace)
+	mux.HandleFunc("GET /metrics", svc.handleMetrics)
+	mux.HandleFunc("GET /v1/healthz", svc.handleHealthz)
 	return mux
 }
 
@@ -210,7 +223,7 @@ func (s *Service) handleArtifact(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Cache-Status", "hit")
 	if _, err := w.Write(snap.Artifact); err != nil {
-		s.log.Printf("service: writing artifact %s: %v", id, err)
+		s.log.Warn("service: writing artifact", "run", id, "err", err)
 	}
 }
 
@@ -421,10 +434,11 @@ func (s *Service) writeSweep(w http.ResponseWriter, snap BatchSnapshot, hit bool
 // newRunResponse renders one snapshot into the wire shape.
 func newRunResponse(snap Snapshot) runResponse {
 	resp := runResponse{
-		ID:     snap.ID,
-		Status: snap.Status,
-		Cached: snap.Cached,
-		Error:  snap.Err,
+		ID:            snap.ID,
+		Status:        snap.Status,
+		Cached:        snap.Cached,
+		Error:         snap.Err,
+		DroppedEvents: snap.Dropped,
 	}
 	if snap.Result != nil {
 		resp.Result = NewJSONResult(snap.Result)
@@ -452,6 +466,6 @@ func (s *Service) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		s.log.Printf("service: writing %T response: %v", v, err)
+		s.log.Warn("service: writing response", "type", fmt.Sprintf("%T", v), "err", err)
 	}
 }

@@ -577,15 +577,3 @@ func TestHTTPSweeps(t *testing.T) {
 		})
 	}
 }
-
-func TestHTTPHealthz(t *testing.T) {
-	_, ts := testServer(t, Config{Jobs: 1})
-	resp, err := http.Get(ts.URL + "/v1/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz: %d", resp.StatusCode)
-	}
-}

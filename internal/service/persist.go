@@ -65,7 +65,7 @@ func (s *Service) saveMeta(r *run, res *sim.Result) error {
 func (s *Service) rebuild() {
 	entries, err := s.store.List()
 	if err != nil {
-		s.log.Printf("service: cannot list artifact store %s: %v", s.store.Dir(), err)
+		s.log.Warn("service: cannot list artifact store", "dir", s.store.Dir(), "err", err)
 		return
 	}
 	// Oldest artifacts first, so doneOrder evicts the stalest runs once
@@ -78,9 +78,10 @@ func (s *Service) rebuild() {
 		}
 		r, err := s.restoreRun(e.Name)
 		if err != nil {
-			s.log.Printf("service: skipping stored run %s: %v", e.Name, err)
+			s.log.Warn("service: skipping stored run", "run", e.Name, "err", err)
 			continue
 		}
+		r.mx = s.metrics
 		s.runs[e.Name] = r
 		s.doneOrder = append(s.doneOrder, e.Name)
 		for _, key := range r.lookKeys {
@@ -103,7 +104,7 @@ func (s *Service) rebuild() {
 		restored--
 	}
 	if restored > 0 {
-		s.log.Printf("service: rebuilt run index from %s: %d cached runs restored", s.store.Dir(), restored)
+		s.log.Info("service: rebuilt run index", "dir", s.store.Dir(), "restored", restored)
 	}
 }
 

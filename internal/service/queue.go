@@ -1,6 +1,10 @@
 package service
 
-import "sync"
+import (
+	"sync"
+
+	"atlahs/internal/telemetry"
+)
 
 // DefaultClass is the admission class of plain Submit calls and of HTTP
 // submissions that name no submitter — the "interactive" share of the
@@ -27,12 +31,22 @@ type jobQueue struct {
 	ring    []string
 	next    int
 	closed  bool
+	// gauge mirrors per-class depth into the metrics registry; nil when
+	// the queue runs without one (tests).
+	gauge *telemetry.GaugeVec
 }
 
-func newJobQueue(capacity int) *jobQueue {
-	q := &jobQueue{capacity: capacity, classes: make(map[string][]*run)}
+func newJobQueue(capacity int, gauge *telemetry.GaugeVec) *jobQueue {
+	q := &jobQueue{capacity: capacity, classes: make(map[string][]*run), gauge: gauge}
 	q.cond = sync.NewCond(&q.mu)
 	return q
+}
+
+// depth returns the total queued runs across all classes.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
 }
 
 // push admits runs into the named class atomically: either every run is
@@ -55,6 +69,9 @@ func (q *jobQueue) push(class string, rs ...*run) error {
 	}
 	q.classes[class] = append(q.classes[class], rs...)
 	q.size += len(rs)
+	if q.gauge != nil {
+		q.gauge.With(class).Add(int64(len(rs)))
+	}
 	q.cond.Broadcast()
 	return nil
 }
@@ -80,6 +97,9 @@ func (q *jobQueue) pop() (*run, bool) {
 	fifo := q.classes[class]
 	r := fifo[0]
 	q.size--
+	if q.gauge != nil {
+		q.gauge.With(class).Dec()
+	}
 	if len(fifo) == 1 {
 		delete(q.classes, class)
 		q.ring = append(q.ring[:q.next], q.ring[q.next+1:]...)

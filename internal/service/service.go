@@ -32,11 +32,13 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
+	"atlahs/internal/telemetry"
 	"atlahs/results"
 	"atlahs/sim"
 )
@@ -66,9 +68,16 @@ type Config struct {
 	// (plus a metadata sidecar under <dir>/meta/), and rebuilds the run
 	// index from those artifacts on the next boot.
 	ArtifactDir string
-	// Logger receives operational warnings (skipped artifacts on rebuild,
-	// failed response writes). Nil means log.Default().
-	Logger *log.Logger
+	// Timeline, when true, records every executed run's execution
+	// timeline (Chrome trace-event JSON; see sim.Spec.Timeline) and
+	// serves it at GET /v1/runs/{id}/trace; with an ArtifactDir the trace
+	// also persists under <dir>/traces/. Off by default: recording
+	// touches every op completion.
+	Timeline bool
+	// Logger receives structured operational logs (run lifecycle with
+	// id/fingerprint/class attrs, skipped artifacts on rebuild, failed
+	// response writes). Nil means slog.Default().
+	Logger *slog.Logger
 }
 
 // withDefaults fills the documented zero-value defaults.
@@ -131,14 +140,19 @@ type Snapshot struct {
 	Artifact []byte
 	// Err is the failure message, once failed.
 	Err string
+	// Dropped counts the op/progress events discarded to lagging
+	// subscribers of this run's event stream so far.
+	Dropped int64
 }
 
 // Service is a resident simulation runner; create with New, stop with
 // Close. All methods are safe for concurrent use.
 type Service struct {
-	cfg   Config
-	store *results.Store
-	log   *log.Logger
+	cfg     Config
+	store   *results.Store
+	log     *slog.Logger
+	metrics *serviceMetrics
+	started time.Time
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -176,17 +190,20 @@ type Service struct {
 // a broken artifact directory.
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
+	metrics := newServiceMetrics()
 	s := &Service{
 		cfg:        cfg,
 		log:        cfg.Logger,
-		sched:      newJobQueue(cfg.Queue),
+		metrics:    metrics,
+		started:    time.Now(),
+		sched:      newJobQueue(cfg.Queue, metrics.queueDepth),
 		runs:       make(map[string]*run),
 		lookaside:  make(map[string]string),
 		batches:    make(map[string]*batch),
 		resolveSem: make(chan struct{}, cfg.Jobs),
 	}
 	if s.log == nil {
-		s.log = log.Default()
+		s.log = slog.Default()
 	}
 	if cfg.ArtifactDir != "" {
 		store, err := results.NewStore(cfg.ArtifactDir)
@@ -259,6 +276,10 @@ func (s *Service) SubmitIn(class string, spec sim.Spec) (Snapshot, error) {
 				snap := r.snapshot()
 				if snap.Status != StatusFailed {
 					s.mu.Unlock()
+					s.metrics.cacheRequests.With("lookaside").Inc()
+					if !snap.Status.Terminal() {
+						s.metrics.singleflight.Inc()
+					}
 					snap.Cached = true
 					return snap, nil
 				}
@@ -289,6 +310,10 @@ func (s *Service) SubmitIn(class string, spec sim.Spec) (Snapshot, error) {
 				r.lookKeys = append(r.lookKeys, lookKey)
 			}
 			s.mu.Unlock()
+			s.metrics.cacheRequests.With("hit").Inc()
+			if !snap.Status.Terminal() {
+				s.metrics.singleflight.Inc()
+			}
 			snap.Cached = true
 			return snap, nil
 		}
@@ -298,6 +323,8 @@ func (s *Service) SubmitIn(class string, spec sim.Spec) (Snapshot, error) {
 		s.dropLocked(id)
 	}
 	r := newRun(id, fp, pinned)
+	r.class = class
+	r.mx = s.metrics
 	if err := s.sched.push(class, r); err != nil {
 		s.mu.Unlock()
 		return Snapshot{}, err
@@ -308,6 +335,7 @@ func (s *Service) SubmitIn(class string, spec sim.Spec) (Snapshot, error) {
 		r.lookKeys = append(r.lookKeys, lookKey)
 	}
 	s.mu.Unlock()
+	s.metrics.cacheRequests.With("miss").Inc()
 	return r.snapshot(), nil
 }
 
@@ -435,39 +463,69 @@ func (s *Service) shareWorkers(spec sim.Spec) int {
 
 // execute runs one job on an executor slot.
 func (s *Service) execute(r *run) {
+	s.metrics.execBusy.Inc()
+	defer s.metrics.execBusy.Dec()
 	r.setStatus(StatusRunning)
+	s.log.Info("service: run started", "run", r.id, "fingerprint", r.fp, "class", r.class, "cache", "miss")
 	spec := r.spec
 	spec.Workers = s.shareWorkers(spec)
 	spec.Observer = r
+	if s.cfg.Timeline {
+		r.timeline = telemetry.NewTimeline(0)
+		spec.Timeline = r.timeline
+	}
+	start := time.Now()
 	res, err := sim.Run(s.ctx, spec)
+	wall := time.Since(start)
+	s.metrics.runWall.Observe(wall.Seconds())
 	if err != nil {
-		r.fail(err)
-		s.noteDone(r.id)
+		s.finishRun(r, StatusFailed, wall, err)
 		return
 	}
+	s.metrics.foldRun(res.Metrics)
 	sweep := runSweep(r.id, &r.spec, res)
 	var buf bytes.Buffer
 	if err := results.EncodeJSON(&buf, sweep); err != nil {
-		r.fail(fmt.Errorf("service: encoding run artifact: %w", err))
-		s.noteDone(r.id)
+		s.finishRun(r, StatusFailed, wall, fmt.Errorf("service: encoding run artifact: %w", err))
 		return
 	}
 	if s.store != nil {
 		if err := s.store.Save(sweep); err != nil {
-			r.fail(err)
-			s.noteDone(r.id)
+			s.finishRun(r, StatusFailed, wall, err)
 			return
 		}
 		// The sidecar makes the artifact trustworthy again after a restart;
 		// a run whose sidecar cannot be written is failed like one whose
 		// artifact cannot, so "done with a store" always means "restorable".
 		if err := s.saveMeta(r, res); err != nil {
-			r.fail(err)
-			s.noteDone(r.id)
+			s.finishRun(r, StatusFailed, wall, err)
 			return
+		}
+		// A trace is observability, not a result: failing to persist one
+		// degrades to in-memory serving rather than failing the run.
+		if r.timeline != nil {
+			if err := s.store.SaveTrace(r.id, r.timeline.Encode); err != nil {
+				s.log.Warn("service: persisting run trace", "run", r.id, "err", err)
+			}
 		}
 	}
 	r.complete(res, buf.Bytes())
+	s.finishRun(r, StatusDone, wall, nil)
+}
+
+// finishRun records a terminal run everywhere it must land: the failure
+// state (done runs were completed by the caller), the outcome counter,
+// the structured log, and the eviction order.
+func (s *Service) finishRun(r *run, st Status, wall time.Duration, err error) {
+	if err != nil {
+		r.fail(err)
+	}
+	s.metrics.runs.With(string(st)).Inc()
+	if err != nil {
+		s.log.Warn("service: run failed", "run", r.id, "fingerprint", r.fp, "class", r.class, "wall", wall, "err", err)
+	} else {
+		s.log.Info("service: run finished", "run", r.id, "fingerprint", r.fp, "class", r.class, "wall", wall, "dropped_events", r.drops.Load())
+	}
 	s.noteDone(r.id)
 }
 

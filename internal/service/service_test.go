@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -562,11 +562,13 @@ func TestRestartSkipsCorruptArtifacts(t *testing.T) {
 		t.Fatal(err)
 	}
 	var logs bytes.Buffer
-	svc2 := newService(t, Config{Jobs: 1, ArtifactDir: dir, Logger: log.New(&logs, "", 0)})
+	svc2 := newService(t, Config{Jobs: 1, ArtifactDir: dir, Logger: slog.New(slog.NewTextHandler(&logs, nil))})
 	if _, ok := svc2.Get(snap.ID); ok {
 		t.Fatal("corrupt artifact was restored into the run index")
 	}
-	if !strings.Contains(logs.String(), "skipping stored run "+snap.ID) {
+	// slog renders the run id as its own attr, so assert msg and id
+	// separately.
+	if !strings.Contains(logs.String(), "skipping stored run") || !strings.Contains(logs.String(), snap.ID) {
 		t.Fatalf("no skip warning logged; log output:\n%s", logs.String())
 	}
 	before := simCount.Load()
@@ -584,7 +586,7 @@ func TestRestartSkipsCorruptArtifacts(t *testing.T) {
 		t.Fatal(err)
 	}
 	logs.Reset()
-	svc3 := newService(t, Config{Jobs: 1, ArtifactDir: dir, Logger: log.New(&logs, "", 0)})
+	svc3 := newService(t, Config{Jobs: 1, ArtifactDir: dir, Logger: slog.New(slog.NewTextHandler(&logs, nil))})
 	if _, ok := svc3.Get(snap.ID); ok {
 		t.Fatal("artifact without a sidecar was restored into the run index")
 	}
@@ -632,7 +634,7 @@ func TestWaitCancelledContext(t *testing.T) {
 // exhaustion.
 func TestJobQueueFairShare(t *testing.T) {
 	mk := func(id string) *run { return &run{id: id} }
-	q := newJobQueue(10)
+	q := newJobQueue(10, nil)
 	if err := q.push("batch", mk("a1"), mk("a2"), mk("a3")); err != nil {
 		t.Fatal(err)
 	}
@@ -651,7 +653,7 @@ func TestJobQueueFairShare(t *testing.T) {
 		t.Fatalf("drain order %v, want round-robin %v", order, want)
 	}
 
-	q2 := newJobQueue(2)
+	q2 := newJobQueue(2, nil)
 	if err := q2.push("c", mk("x1"), mk("x2"), mk("x3")); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("oversized atomic push: %v, want ErrQueueFull", err)
 	}

@@ -155,6 +155,8 @@ func (s *Service) SubmitSweep(class string, specs []sim.Spec) (BatchSnapshot, er
 			return BatchSnapshot{}, fmt.Errorf("service: sweep member %s was evicted during admission; retry the sweep", id)
 		}
 		r := newRun(id, m.fp, m.pinned)
+		r.class = class
+		r.mx = s.metrics
 		cold = append(cold, r)
 		coldMembers = append(coldMembers, m)
 		runs = append(runs, r)
@@ -182,6 +184,12 @@ func (s *Service) SubmitSweep(class string, specs []sim.Spec) (BatchSnapshot, er
 		}
 		if rs.Cached {
 			snap.Cached++
+			s.metrics.cacheRequests.With("hit").Inc()
+			if !rs.Status.Terminal() {
+				s.metrics.singleflight.Inc()
+			}
+		} else {
+			s.metrics.cacheRequests.With("miss").Inc()
 		}
 	}
 	return snap, nil

@@ -1,0 +1,55 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"atlahs/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current recorder output")
+
+// TestTimelineGoldenSerialRun byte-pins the timeline a quick serial run
+// records end to end through the sim facade: timestamps are simulated
+// time and the encoder sorts by event content, so the document is fully
+// deterministic. Any intentional change to the trace shape must be
+// reviewed by regenerating with
+// `go test ./internal/telemetry -run Golden -update`.
+func TestTimelineGoldenSerialRun(t *testing.T) {
+	tl := sim.NewTimeline(0)
+	res, err := sim.Run(context.Background(), sim.Spec{
+		Workload: sim.Workload{Synthetic: &sim.Synthetic{Pattern: "ring", Ranks: 4, Bytes: 4096}},
+		Timeline: tl,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(tl.Len()) != res.Ops {
+		t.Fatalf("timeline recorded %d events for %d ops", tl.Len(), res.Ops)
+	}
+	var buf bytes.Buffer
+	if err := tl.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden", "ring4_serial.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("recorded timeline differs from %s (rerun with -update after reviewing)\ngot:\n%s", path, buf.String())
+	}
+}

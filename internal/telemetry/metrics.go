@@ -1,0 +1,204 @@
+// Package telemetry is ATLAHS's dependency-free observability layer: a
+// typed metrics registry (Counter, Gauge, Histogram) with atomic
+// hot-path increments and a deterministic snapshot/exposition API, plus
+// a Timeline recorder that captures a run's execution spans as Chrome
+// trace-event JSON loadable in Perfetto.
+//
+// The package deliberately has no third-party dependencies and no
+// background goroutines. Instruments are cheap enough to leave wired in
+// permanently (one atomic add on the paths they count), and everything
+// off the hot path — snapshotting, Prometheus text rendering, timeline
+// encoding — is pull-based: it costs nothing until somebody asks.
+//
+// Determinism: a Registry snapshot lists metric families in
+// registration order and labelled children in sorted label order, so
+// the same sequence of increments always renders the same bytes — the
+// property the /metrics scrape tests and the golden timeline pin.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// usable; increments are single atomic adds, safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. The zero value is usable;
+// all methods are single atomic operations, safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (which may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into cumulative buckets with fixed
+// upper bounds, Prometheus-style: bucket i counts observations <=
+// Bounds[i], and the implicit +Inf bucket is the total count. Observe is
+// lock-free — one atomic add per bucket walk plus a CAS loop for the
+// sum — and safe for concurrent use.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; the last is the +Inf overflow
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits
+}
+
+// NewHistogram builds a histogram over the given strictly ascending
+// finite upper bounds. An empty bounds slice is allowed: the histogram
+// then only tracks count and sum.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := range bounds {
+		if math.IsNaN(bounds[i]) || math.IsInf(bounds[i], 0) {
+			panic(fmt.Sprintf("telemetry: histogram bound %d is not finite", i))
+		}
+		if i > 0 && bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not strictly ascending at %d (%v <= %v)", i, bounds[i], bounds[i-1]))
+		}
+	}
+	return &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bounds returns the histogram's upper bounds (shared; do not mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// cumulative returns the cumulative per-bound counts (excluding +Inf)
+// plus the total.
+func (h *Histogram) cumulative() ([]uint64, uint64) {
+	out := make([]uint64, len(h.bounds))
+	var cum uint64
+	for i := range h.bounds {
+		cum += h.buckets[i].Load()
+		out[i] = cum
+	}
+	return out, cum + h.buckets[len(h.bounds)].Load()
+}
+
+// ExpBuckets returns n strictly ascending bounds starting at start and
+// multiplying by factor — the standard exponential bucket layout for
+// latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("telemetry: ExpBuckets needs start > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// CounterVec is a family of counters keyed by one label value.
+type CounterVec struct {
+	fam *family
+}
+
+// With returns (creating on first use) the child counter for the label
+// value. Children persist for the registry's lifetime, so callers may
+// cache the result of With on hot paths.
+func (v *CounterVec) With(value string) *Counter {
+	return v.fam.child(value, func() any { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a family of gauges keyed by one label value.
+type GaugeVec struct {
+	fam *family
+}
+
+// With returns (creating on first use) the child gauge for the label value.
+func (v *GaugeVec) With(value string) *Gauge {
+	return v.fam.child(value, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// family is one registered metric family: an unlabelled solo instrument
+// or a label-keyed set of children.
+type family struct {
+	name  string
+	help  string
+	typ   string // "counter", "gauge" or "histogram"
+	label string // label key; "" for unlabelled families
+
+	solo any // the single instrument of an unlabelled family
+
+	mu       sync.Mutex
+	children map[string]any
+}
+
+// child returns (creating under the family lock) the instrument for one
+// label value.
+func (f *family) child(value string, mk func() any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[value]; ok {
+		return c
+	}
+	c := mk()
+	f.children[value] = c
+	return c
+}
+
+// sortedValues returns the child label values, sorted — the snapshot
+// order within a family.
+func (f *family) sortedValues() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	vals := make([]string, 0, len(f.children))
+	for v := range f.children {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	return vals
+}

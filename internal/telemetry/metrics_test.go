@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeSemantics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 2})
+	for _, v := range []float64{0.25, 0.5, 4} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+	if got := h.Sum(); got != 4.75 {
+		t.Fatalf("sum = %v, want 4.75", got)
+	}
+	cum, total := h.cumulative()
+	// An observation equal to a bound lands in that bucket (le semantics).
+	if cum[0] != 2 || cum[1] != 2 || total != 3 {
+		t.Fatalf("cumulative = %v total %d, want [2 2] total 3", cum, total)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestConcurrentIncrements is the -race gate on the hot-path
+// instruments: four goroutines (the satellite's worker count) hammer a
+// counter, a gauge, a histogram and a labelled vec concurrently; the
+// totals must be exact.
+func TestConcurrentIncrements(t *testing.T) {
+	const workers, perWorker = 4, 10000
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	g := reg.Gauge("g", "")
+	h := reg.Histogram("h", "", []float64{1, 10})
+	vec := reg.CounterVec("v_total", "", "class")
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			class := string(rune('a' + w%2))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 20))
+				vec.With(class).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	var vecTotal uint64
+	for _, p := range reg.Snapshot() {
+		if p.Name == "v_total" {
+			vecTotal += uint64(p.Value)
+		}
+	}
+	if vecTotal != workers*perWorker {
+		t.Fatalf("vec total = %d, want %d", vecTotal, workers*perWorker)
+	}
+}
+
+// TestWritePrometheusDeterministic pins the exact exposition bytes for
+// a fixed registry: families in registration order, labelled samples in
+// sorted label order, histogram buckets cumulative with the +Inf row.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	build := func() *Registry {
+		reg := NewRegistry()
+		c := reg.Counter("atlahs_test_total", "a counter")
+		gv := reg.GaugeVec("atlahs_depth", "a gauge vec", "class")
+		h := reg.Histogram("atlahs_wall_seconds", "a histogram", []float64{0.5, 2})
+		c.Add(3)
+		gv.With("b").Set(2)
+		gv.With("a").Set(1)
+		for _, v := range []float64{0.25, 0.5, 4} {
+			h.Observe(v)
+		}
+		return reg
+	}
+	want := strings.Join([]string{
+		"# HELP atlahs_test_total a counter",
+		"# TYPE atlahs_test_total counter",
+		"atlahs_test_total 3",
+		"# HELP atlahs_depth a gauge vec",
+		"# TYPE atlahs_depth gauge",
+		`atlahs_depth{class="a"} 1`,
+		`atlahs_depth{class="b"} 2`,
+		"# HELP atlahs_wall_seconds a histogram",
+		"# TYPE atlahs_wall_seconds histogram",
+		`atlahs_wall_seconds_bucket{le="0.5"} 2`,
+		`atlahs_wall_seconds_bucket{le="2"} 2`,
+		`atlahs_wall_seconds_bucket{le="+Inf"} 3`,
+		"atlahs_wall_seconds_sum 4.75",
+		"atlahs_wall_seconds_count 3",
+		"",
+	}, "\n")
+	for i := 0; i < 3; i++ {
+		var b strings.Builder
+		if err := build().WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if b.String() != want {
+			t.Fatalf("scrape %d:\ngot:\n%s\nwant:\n%s", i, b.String(), want)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	reg.Gauge("dup_total", "")
+}
+
+func TestRegistryBadNamePanics(t *testing.T) {
+	reg := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	reg.Counter("Bad-Name", "")
+}

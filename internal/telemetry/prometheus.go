@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): one # HELP / # TYPE pair per
+// family followed by its samples, families in registration order,
+// labelled samples in sorted label order — deterministic for a given
+// sequence of increments, which is what the scrape tests pin.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	lastFamily := ""
+	for _, p := range r.Snapshot() {
+		if p.Name != lastFamily {
+			if p.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", p.Name, escapeHelp(p.Help))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", p.Name, p.Type)
+			lastFamily = p.Name
+		}
+		switch p.Type {
+		case "histogram":
+			for _, bk := range p.Buckets {
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", p.Name, formatFloat(bk.LE), bk.Count)
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", p.Name, p.Count)
+			fmt.Fprintf(&b, "%s_sum %s\n", p.Name, formatFloat(p.Sum))
+			fmt.Fprintf(&b, "%s_count %d\n", p.Name, p.Count)
+		default:
+			if p.Label != "" {
+				// %q escaping (backslash, quote, \n) matches the exposition
+				// format's label escaping.
+				fmt.Fprintf(&b, "%s{%s=%q} %s\n", p.Name, p.Label, p.LabelValue, formatFloat(p.Value))
+			} else {
+				fmt.Fprintf(&b, "%s %s\n", p.Name, formatFloat(p.Value))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest round-trip representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP line per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"sync"
+)
+
+// Registry holds metric families and snapshots them deterministically:
+// families appear in registration order, labelled children in sorted
+// label-value order. Registration is not idempotent — registering a
+// name twice panics, the same programming-error contract as a duplicate
+// flag — so each subsystem registers its instruments exactly once at
+// construction time and holds the typed handles.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// metricNameRE is the accepted shape for metric names and label keys —
+// the safe common subset of the Prometheus data model.
+var metricNameRE = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+
+// register files one family, panicking on invalid or duplicate names.
+func (r *Registry) register(name, help, typ, label string) *family {
+	if !metricNameRE.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	if label != "" && !metricNameRE.MatchString(label) {
+		panic(fmt.Sprintf("telemetry: invalid label key %q on metric %q", label, name))
+	}
+	f := &family{name: name, help: help, typ: typ, label: label}
+	if label != "" {
+		f.children = make(map[string]any)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("telemetry: metric %q registered twice", name))
+	}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// Counter registers and returns an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, "counter", "")
+	c := &Counter{}
+	f.solo = c
+	return c
+}
+
+// CounterVec registers a counter family keyed by one label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{fam: r.register(name, help, "counter", label)}
+}
+
+// Gauge registers and returns an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, "gauge", "")
+	g := &Gauge{}
+	f.solo = g
+	return g
+}
+
+// GaugeVec registers a gauge family keyed by one label.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	return &GaugeVec{fam: r.register(name, help, "gauge", label)}
+}
+
+// Histogram registers and returns a histogram over the given ascending
+// upper bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.register(name, help, "histogram", "")
+	h := NewHistogram(bounds)
+	f.solo = h
+	return h
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot: the count of
+// observations <= LE.
+type Bucket struct {
+	LE    float64
+	Count uint64
+}
+
+// Point is one sample in a registry snapshot. Counters and gauges fill
+// Value; histograms fill Count, Sum and Buckets (cumulative, excluding
+// the implicit +Inf bucket, whose count is Count).
+type Point struct {
+	Name       string
+	Type       string // "counter", "gauge" or "histogram"
+	Help       string
+	Label      string // label key, "" when unlabelled
+	LabelValue string
+	Value      float64
+	Count      uint64
+	Sum        float64
+	Buckets    []Bucket
+}
+
+// Snapshot returns the registry's current state: one Point per
+// unlabelled instrument or labelled child, families in registration
+// order, children sorted by label value. The snapshot is a consistent
+// read of each instrument individually (counters are loaded once), not
+// an atomic cut across instruments — the standard scrape semantics.
+func (r *Registry) Snapshot() []Point {
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	var out []Point
+	for _, f := range families {
+		if f.label == "" {
+			out = append(out, samplePoint(f, "", f.solo))
+			continue
+		}
+		for _, val := range f.sortedValues() {
+			f.mu.Lock()
+			inst := f.children[val]
+			f.mu.Unlock()
+			out = append(out, samplePoint(f, val, inst))
+		}
+	}
+	return out
+}
+
+// samplePoint reads one instrument into a Point.
+func samplePoint(f *family, labelValue string, inst any) Point {
+	p := Point{Name: f.name, Type: f.typ, Help: f.help, Label: f.label, LabelValue: labelValue}
+	switch m := inst.(type) {
+	case *Counter:
+		p.Value = float64(m.Value())
+	case *Gauge:
+		p.Value = float64(m.Value())
+	case *Histogram:
+		cum, total := m.cumulative()
+		p.Count = total
+		p.Sum = m.Sum()
+		p.Buckets = make([]Bucket, len(cum))
+		for i, c := range cum {
+			p.Buckets[i] = Bucket{LE: m.bounds[i], Count: c}
+		}
+	default:
+		panic(fmt.Sprintf("telemetry: family %q holds unknown instrument %T", f.name, inst))
+	}
+	return p
+}

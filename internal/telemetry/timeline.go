@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"atlahs/internal/simtime"
+)
+
+// DefaultTimelineEvents is the recorder's default event capacity. A
+// window span or op instant is a few dozen bytes, so the default bounds
+// a runaway trace at tens of megabytes; events past the cap are dropped
+// and counted rather than grown without bound.
+const DefaultTimelineEvents = 1 << 18
+
+// Timeline records a run's execution spans — per-lane engine windows
+// and per-op completion instants — and encodes them as Chrome
+// trace-event JSON, the format Perfetto and chrome://tracing load
+// directly. Timestamps are *simulated* time (GOAL picoseconds rendered
+// as trace microseconds), so the same spec always encodes the same
+// timeline bytes, independent of worker count or host speed: the
+// timeline shows where simulated time goes, which is the question
+// ATLAHS answers.
+//
+// A Timeline is safe for concurrent use: on parallel runs the engine's
+// lanes and the observer bridge append from worker goroutines. The
+// append path takes one mutex and copies a small struct; recording is
+// opt-in, so runs without a Timeline pay nothing.
+type Timeline struct {
+	mu      sync.Mutex
+	cap     int
+	events  []traceEvent
+	dropped uint64
+}
+
+// traceEvent is one recorded span or instant, kept in compact
+// pre-encoding form (timestamps in simulated picoseconds).
+type traceEvent struct {
+	name string
+	ph   byte // 'X' complete span, 'i' instant
+	tid  int32
+	ts   int64  // simulated ps
+	dur  int64  // simulated ps, spans only
+	n    uint64 // events inside a window span
+}
+
+// NewTimeline returns a recorder holding at most maxEvents events
+// (<= 0 means DefaultTimelineEvents). Events recorded past the cap are
+// dropped and counted (Dropped); which events drop under concurrent
+// recording is unspecified, so deterministic traces need a cap above
+// the run's event volume.
+func NewTimeline(maxEvents int) *Timeline {
+	if maxEvents <= 0 {
+		maxEvents = DefaultTimelineEvents
+	}
+	return &Timeline{cap: maxEvents}
+}
+
+// record appends one event under the cap.
+func (t *Timeline) record(ev traceEvent) {
+	t.mu.Lock()
+	if len(t.events) >= t.cap {
+		t.dropped++
+		t.mu.Unlock()
+		return
+	}
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// LaneWindow records one engine window executed on a lane: the span
+// from the lane's first to its last executed event of the window, with
+// the event count as an argument. It implements the engine's Tracer
+// hook (the engine package defines the interface structurally, so it
+// never imports telemetry).
+func (t *Timeline) LaneWindow(lane int, from, to simtime.Time, events uint64) {
+	t.record(traceEvent{name: "window", ph: 'X', tid: int32(lane), ts: int64(from), dur: int64(to) - int64(from), n: events})
+}
+
+// Op records one GOAL op completion as an instant on the op's rank row.
+func (t *Timeline) Op(rank int, kind string, at simtime.Time) {
+	t.record(traceEvent{name: kind, ph: 'i', tid: int32(rank), ts: int64(at)})
+}
+
+// Len reports the number of recorded events.
+func (t *Timeline) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped reports how many events the cap discarded.
+func (t *Timeline) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards all recorded events.
+func (t *Timeline) Reset() {
+	t.mu.Lock()
+	t.events = t.events[:0]
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// jsonTraceEvent is the Chrome trace-event wire shape (ts and dur in
+// trace microseconds).
+type jsonTraceEvent struct {
+	Name string     `json:"name"`
+	Ph   string     `json:"ph"`
+	Pid  int        `json:"pid"`
+	Tid  int32      `json:"tid"`
+	Ts   float64    `json:"ts"`
+	Dur  *float64   `json:"dur,omitempty"`
+	S    string     `json:"s,omitempty"`
+	Args *traceArgs `json:"args,omitempty"`
+}
+
+// traceArgs carries the per-event argument payload.
+type traceArgs struct {
+	Name   string `json:"name,omitempty"`
+	Events uint64 `json:"events,omitempty"`
+}
+
+// psToUs converts simulated picoseconds to trace microseconds.
+func psToUs(ps int64) float64 { return float64(ps) / 1e6 }
+
+// Encode writes the timeline as one Chrome trace-event JSON document:
+// process/thread metadata first, then every recorded event sorted by
+// its full content (timestamp, thread, phase, name, duration, count) —
+// a total order over distinct events, so the bytes are deterministic
+// even when concurrent recording interleaved the appends differently.
+func (t *Timeline) Encode(w io.Writer) error {
+	t.mu.Lock()
+	events := append([]traceEvent(nil), t.events...)
+	dropped := t.dropped
+	t.mu.Unlock()
+
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		if a.tid != b.tid {
+			return a.tid < b.tid
+		}
+		if a.ph != b.ph {
+			return a.ph < b.ph
+		}
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		if a.dur != b.dur {
+			return a.dur < b.dur
+		}
+		return a.n < b.n
+	})
+
+	// Thread metadata for every row that appears, sorted by tid.
+	seen := map[int32]bool{}
+	var tids []int32
+	for _, ev := range events {
+		if !seen[ev.tid] {
+			seen[ev.tid] = true
+			tids = append(tids, ev.tid)
+		}
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev jsonTraceEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if first {
+			sep = ""
+			first = false
+		}
+		if _, err := io.WriteString(w, sep); err != nil {
+			return err
+		}
+		_, err = w.Write(b)
+		return err
+	}
+	if err := emit(jsonTraceEvent{Name: "process_name", Ph: "M", Args: &traceArgs{Name: "atlahs"}}); err != nil {
+		return err
+	}
+	for _, tid := range tids {
+		if err := emit(jsonTraceEvent{Name: "thread_name", Ph: "M", Tid: tid, Args: &traceArgs{Name: fmt.Sprintf("rank %d", tid)}}); err != nil {
+			return err
+		}
+	}
+	for _, ev := range events {
+		je := jsonTraceEvent{Name: ev.name, Ph: string(ev.ph), Tid: ev.tid, Ts: psToUs(ev.ts)}
+		switch ev.ph {
+		case 'X':
+			dur := psToUs(ev.dur)
+			je.Dur = &dur
+			je.Args = &traceArgs{Events: ev.n}
+		case 'i':
+			je.S = "t"
+		}
+		if err := emit(je); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n]"); err != nil {
+		return err
+	}
+	if dropped > 0 {
+		if _, err := fmt.Fprintf(w, ",\"otherData\":{\"droppedEvents\":\"%d\"}", dropped); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}

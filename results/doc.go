@@ -131,6 +131,40 @@
 // model document is a content-addressable workload: equal documents plus
 // equal (ranks, seed) yield bit-identical schedules.
 //
+// # Metrics-snapshot schema (atlahs.metrics/v1)
+//
+// A MetricsSnapshot is a one-shot reading of an internal/telemetry
+// metrics registry: the document a run's engine/scheduler counters
+// travel in (sim.Result.Metrics) and the body of the service's
+// GET /v1/runs/{id}/metrics. EncodeMetricsJSON writes one snapshot as a
+// single JSON object:
+//
+//	{
+//	  "schema":  "atlahs.metrics/v1",
+//	  "metrics": [
+//	    {"name": "atlahs_engine_events_total", "type": "counter",
+//	     "help": "...", "value": 240000},
+//	    {"name": "atlahs_service_queue_depth", "type": "gauge",
+//	     "label": "class", "label_value": "interactive", "value": 2},
+//	    {"name": "atlahs_run_wall_seconds", "type": "histogram",
+//	     "help": "...", "count": 3, "sum": 4.75,
+//	     "buckets": [{"le": 0.5, "count": 2}, {"le": 2, "count": 2}]}
+//	  ]
+//	}
+//
+// Samples appear in the registry's deterministic snapshot order:
+// families in registration order, labelled children sorted by label
+// value. Histogram buckets are cumulative over finite upper bounds;
+// JSON cannot encode +Inf, so — unlike the Prometheus text exposition —
+// the +Inf bucket is omitted and "count" carries the total observation
+// count. Like the other schemas, atlahs.metrics/v1 is append-only:
+// metric names may be added between releases but keep their meaning and
+// units once released, and consumers should select samples by name.
+//
+// Timeline traces (Chrome trace-event JSON, see internal/telemetry) are
+// not a results schema; a Store keeps them as opaque documents under
+// traces/ via SaveTrace/LoadTrace, outside the sweep namespace.
+//
 // # Stability guarantee
 //
 // The "atlahs.results/v1" schema is append-only: released field names,

@@ -1,0 +1,103 @@
+package results
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleSnapshot() *MetricsSnapshot {
+	return NewMetricsSnapshot([]Metric{
+		{Name: "atlahs_engine_events_total", Type: "counter", Help: "events executed", Value: 240000},
+		{Name: "atlahs_service_queue_depth", Type: "gauge", Label: "class", LabelValue: "interactive", Value: 2},
+		{Name: "atlahs_run_wall_seconds", Type: "histogram", Count: 3, Sum: 4.75,
+			Buckets: []MetricBucket{{LE: 0.5, Count: 2}, {LE: 2, Count: 2}}},
+	})
+}
+
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	ms := sampleSnapshot()
+	var b bytes.Buffer
+	if err := EncodeMetricsJSON(&b, ms); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"schema": "atlahs.metrics/v1"`) {
+		t.Fatalf("encoded snapshot misses schema:\n%s", b.String())
+	}
+	got, err := DecodeMetricsJSON(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Metrics) != 3 {
+		t.Fatalf("round trip lost samples: %d, want 3", len(got.Metrics))
+	}
+	if got.Metrics[2].Count != 3 || got.Metrics[2].Sum != 4.75 {
+		t.Fatalf("histogram sample mangled: %+v", got.Metrics[2])
+	}
+	if got.Metrics[1].LabelValue != "interactive" {
+		t.Fatalf("label mangled: %+v", got.Metrics[1])
+	}
+}
+
+func TestMetricsValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		ms   *MetricsSnapshot
+	}{
+		{"bad schema", &MetricsSnapshot{Schema: "atlahs.metrics/v0"}},
+		{"bad name", NewMetricsSnapshot([]Metric{{Name: "Bad-Name", Type: "counter"}})},
+		{"bad type", NewMetricsSnapshot([]Metric{{Name: "x", Type: "summary"}})},
+		{"counter with buckets", NewMetricsSnapshot([]Metric{
+			{Name: "x", Type: "counter", Buckets: []MetricBucket{{LE: 1}}}})},
+		{"non-ascending bounds", NewMetricsSnapshot([]Metric{
+			{Name: "x", Type: "histogram", Count: 2, Buckets: []MetricBucket{{LE: 2, Count: 1}, {LE: 1, Count: 2}}}})},
+		{"non-cumulative counts", NewMetricsSnapshot([]Metric{
+			{Name: "x", Type: "histogram", Count: 2, Buckets: []MetricBucket{{LE: 1, Count: 2}, {LE: 2, Count: 1}}}})},
+		{"bucket exceeds total", NewMetricsSnapshot([]Metric{
+			{Name: "x", Type: "histogram", Count: 1, Buckets: []MetricBucket{{LE: 1, Count: 2}}}})},
+		{"label without value", NewMetricsSnapshot([]Metric{{Name: "x", Type: "gauge", Label: "class"}})},
+	}
+	for _, tc := range cases {
+		if err := tc.ms.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid snapshot", tc.name)
+		}
+	}
+}
+
+func TestStoreTraceRoundTrip(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := `{"displayTimeUnit":"ns","traceEvents":[]}` + "\n"
+	if err := st.SaveTrace("r_0011223344556677", func(w io.Writer) error {
+		_, err := w.Write([]byte(doc))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LoadTrace("r_0011223344556677")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != doc {
+		t.Fatalf("trace round trip: got %q, want %q", got, doc)
+	}
+	// Traces live outside the sweep namespace: Names must not see them.
+	names, err := st.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("trace leaked into the sweep namespace: %v", names)
+	}
+	if _, err := st.LoadTrace("../escape"); err == nil {
+		t.Fatal("LoadTrace accepted a path-escaping name")
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), "traces", "r_0011223344556677.json")); err != nil {
+		t.Fatalf("trace not at the documented path: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package results
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -185,6 +186,54 @@ func (st *Store) SaveMeta(name string, v any) error {
 		return fmt.Errorf("results: saving meta for %q: %w", name, err)
 	}
 	return nil
+}
+
+// tracesDir is where per-run timeline traces live. Like meta, the
+// subdirectory keeps them out of the *.json artifact namespace that
+// Names, List and CI's validateresults glob over.
+func (st *Store) tracesDir() string { return filepath.Join(st.dir, "traces") }
+
+// TracePath returns where the named run's timeline trace lives, without
+// checking that it exists.
+func (st *Store) TracePath(name string) string {
+	return filepath.Join(st.tracesDir(), name+".json")
+}
+
+// SaveTrace writes the named run's timeline trace atomically, streaming
+// the document through write (typically telemetry.(*Timeline).Encode).
+func (st *Store) SaveTrace(name string, write func(io.Writer) error) error {
+	if err := st.checkName(name); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(st.tracesDir(), 0o755); err != nil {
+		return fmt.Errorf("results: creating traces directory: %w", err)
+	}
+	tmp, err := os.CreateTemp(st.tracesDir(), "."+name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("results: saving trace for %q: %w", name, err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("results: saving trace for %q: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("results: saving trace for %q: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), st.TracePath(name)); err != nil {
+		return fmt.Errorf("results: saving trace for %q: %w", name, err)
+	}
+	return nil
+}
+
+// LoadTrace reads the named run's timeline trace. The bytes are returned
+// as written; callers that need structure decode the Chrome trace-event
+// JSON themselves.
+func (st *Store) LoadTrace(name string) ([]byte, error) {
+	if err := st.checkName(name); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(st.TracePath(name))
 }
 
 // LoadMeta reads the named artifact's metadata sidecar into v, rejecting

@@ -101,6 +101,9 @@ func MarshalSpec(sp Spec) ([]byte, error) {
 	if sp.Observer != nil {
 		return nil, fmt.Errorf("sim: a spec with a streaming Observer cannot cross the wire; attach observers on the serving side")
 	}
+	if sp.Timeline != nil {
+		return nil, fmt.Errorf("sim: a spec with a Timeline recorder cannot cross the wire; attach recorders on the serving side")
+	}
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}

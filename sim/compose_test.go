@@ -63,7 +63,8 @@ func TestComposedScenarioDeterministic(t *testing.T) {
 		}
 		serial.Workers, parallel.Workers = 0, 0
 		serial.Parallel, parallel.Parallel = false, false
-		serial.Events, parallel.Events = 0, 0 // engine-dependent accounting
+		serial.Events, parallel.Events = 0, 0       // engine-dependent accounting
+		serial.Metrics, parallel.Metrics = nil, nil // engine-dependent accounting
 		if !reflect.DeepEqual(serial, parallel) {
 			t.Fatalf("%s: serial and parallel runs diverged\nserial   %+v\nparallel %+v",
 				placement, serial, parallel)

@@ -60,6 +60,18 @@
 // simulation with per-job node sets reported in Result.JobNodes — the
 // paper's heterogeneous co-location scenarios (§3.2) as a one-spec run.
 //
+// Every run is observable without being instrumented by its caller:
+// Result.Metrics carries an atlahs.metrics/v1 snapshot (see the results
+// package) of the engine's and scheduler's execution counters —
+// conservative windows, adaptive widenings, peak queue depths, worker
+// wakeups — and Spec.Timeline optionally attaches a bounded recorder
+// (NewTimeline) that captures op completions and per-lane window spans
+// as Chrome trace-event JSON loadable in Perfetto. Timeline timestamps
+// are simulated time, so the recorded document is as deterministic as
+// the run itself. Like Observer, a Timeline is a process-local hook:
+// MarshalSpec rejects specs carrying one, and neither participates in
+// Fingerprint.
+//
 // Specs also cross process boundaries: MarshalSpec/UnmarshalSpec give
 // every Spec a canonical wire form under the append-only atlahs.spec/v1
 // schema (config payloads resolved by backend/frontend name through the

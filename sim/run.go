@@ -13,6 +13,8 @@ import (
 	"atlahs/internal/pktnet"
 	"atlahs/internal/sched"
 	"atlahs/internal/simtime"
+	"atlahs/internal/telemetry"
+	"atlahs/results"
 )
 
 // Result summarises a completed run: the simulated outcome (makespan,
@@ -54,6 +56,12 @@ type Result struct {
 	// Net holds the fabric counters for backends that track them (pkt);
 	// nil otherwise.
 	Net *NetStats
+	// Metrics is the run's atlahs.metrics/v1 snapshot: engine and
+	// scheduler execution counters (windows, adaptive widenings, peak
+	// queue depths, ...). Window counts are deterministic; the
+	// execution-strategy counters describe how this process ran them and
+	// follow the worker budget, like Workers and Wall.
+	Metrics *results.MetricsSnapshot
 	// Wall is the host time the simulation took.
 	Wall time.Duration
 }
@@ -119,11 +127,17 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if spec.Timeline != nil {
+		if pe, ok := eng.(*engine.ParEngine); ok {
+			pe.SetTracer(spec.Timeline)
+		}
+	}
 	st := sch.ComputeStats()
 	runBE := &observedBackend{
 		inner:   be,
 		sch:     sch,
 		obs:     spec.Observer,
+		tl:      spec.Timeline,
 		every:   spec.ProgressEvery,
 		total:   st.Ops,
 		ctx:     ctx,
@@ -163,6 +177,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		Workers:  workers,
 		Parallel: parallel,
 		Wall:     wall,
+		Metrics:  runMetrics(eng, res),
 	}
 	if sp, ok := be.(interface{ NetStats() pktnet.Stats }); ok {
 		ns := sp.NetStats()
@@ -192,6 +207,7 @@ type observedBackend struct {
 	inner core.Backend
 	sch   *goal.Schedule
 	obs   Observer
+	tl    *telemetry.Timeline
 	every int64
 	total int64
 	ctx   context.Context
@@ -242,6 +258,9 @@ func (o *observedBackend) Setup(nranks int, eng engine.Sim, over core.Completion
 			t.Sends++
 		case goal.KindRecv:
 			t.Recvs++
+		}
+		if o.tl != nil {
+			o.tl.Op(h.Rank(), kind.String(), at)
 		}
 		if o.track {
 			n := o.done.Add(1)

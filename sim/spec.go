@@ -60,6 +60,12 @@ type Spec struct {
 	Observer Observer
 	// ProgressEvery emits Observer.Progress every N completed ops (0 = off).
 	ProgressEvery int64
+	// Timeline, when non-nil, records the run's execution timeline into
+	// the given recorder (see NewTimeline): one instant per op completion
+	// and — on the parallel engine — one span per executed conservative
+	// window. Like Observer it is a process-local hook: it never crosses
+	// the wire and does not participate in fingerprints.
+	Timeline *Timeline
 
 	// resolved pins the outcome of one workload resolution (ResolveSpec):
 	// Run reuses it instead of re-reading files, re-converting traces and

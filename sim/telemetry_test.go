@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// metricValue pulls one sample out of a run's metrics snapshot.
+func metricValue(t *testing.T, res *Result, name string) float64 {
+	t.Helper()
+	for _, m := range res.Metrics.Metrics {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	t.Fatalf("metric %q missing from the run snapshot", name)
+	return 0
+}
+
+// TestRunMetricsSnapshot: every run carries a valid atlahs.metrics/v1
+// snapshot whose engine counters agree with the Result's own accounting.
+func TestRunMetricsSnapshot(t *testing.T) {
+	spec := Spec{Workload: Workload{Synthetic: &Synthetic{Pattern: "alltoall", Ranks: 8, Bytes: 4096}}}
+	serial := runResult(t, spec)
+	if serial.Metrics == nil {
+		t.Fatal("serial run carries no metrics snapshot")
+	}
+	if err := serial.Metrics.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, serial, "atlahs_engine_events_total"); got != float64(serial.Events) {
+		t.Fatalf("events metric %v, Result.Events %d", got, serial.Events)
+	}
+	if metricValue(t, serial, "atlahs_engine_peak_pending") <= 0 {
+		t.Fatal("serial run recorded no queue-depth high-water mark")
+	}
+	if metricValue(t, serial, "atlahs_sched_peak_outstanding") <= 0 {
+		t.Fatal("run recorded no scheduler in-flight high-water mark")
+	}
+	if got := metricValue(t, serial, "atlahs_engine_windows_total"); got != 0 {
+		t.Fatalf("serial run counted %v conservative windows", got)
+	}
+
+	par := runResult(t, spec.withWorkers(4))
+	if got := metricValue(t, par, "atlahs_engine_windows_total"); got <= 0 {
+		t.Fatal("parallel run counted no conservative windows")
+	}
+	if metricValue(t, par, "atlahs_engine_active_lanes_total") <= 0 {
+		t.Fatal("parallel run counted no active lanes")
+	}
+}
+
+// withWorkers returns a copy of the spec with the worker budget set.
+func (sp Spec) withWorkers(n int) Spec {
+	sp.Workers = n
+	return sp
+}
+
+// TestRunTimelineParallel: a parallel run with a recorder attached emits
+// both op instants and per-lane window spans, and the document parses.
+func TestRunTimelineParallel(t *testing.T) {
+	tl := NewTimeline(0)
+	res := runResult(t, Spec{
+		Workload: Workload{Synthetic: &Synthetic{Pattern: "ring", Ranks: 8, Bytes: 4096}},
+		Workers:  4,
+		Timeline: tl,
+	})
+	if !res.Parallel {
+		t.Fatal("wanted the parallel engine")
+	}
+	if int64(tl.Len()) <= res.Ops {
+		t.Fatalf("timeline holds %d events for %d ops; window spans missing", tl.Len(), res.Ops)
+	}
+	var buf bytes.Buffer
+	if err := tl.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	if !strings.Contains(doc, `"name":"window","ph":"X"`) {
+		t.Fatal("trace carries no window spans")
+	}
+	if !strings.Contains(doc, `"ph":"i"`) {
+		t.Fatal("trace carries no op instants")
+	}
+}
+
+// TestTimelineSpecCannotCrossWire mirrors the Observer rule: recorders
+// are process-local hooks.
+func TestTimelineSpecCannotCrossWire(t *testing.T) {
+	_, err := MarshalSpec(Spec{
+		Workload: Workload{Synthetic: &Synthetic{Pattern: "ring", Ranks: 2, Bytes: 64}},
+		Timeline: NewTimeline(0),
+	})
+	if err == nil || !strings.Contains(err.Error(), "Timeline") {
+		t.Fatalf("MarshalSpec accepted a Timeline spec: %v", err)
+	}
+}
